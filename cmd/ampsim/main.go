@@ -1,0 +1,127 @@
+// Command ampsim runs one workload on the simulated asymmetric multicore
+// under the baseline scheduler, phase-based tuning, or overhead-measurement
+// mode, and prints the run's metrics.
+//
+// Usage:
+//
+//	ampsim [-mode baseline|tuned|overhead] [-slots 18] [-duration 400]
+//	       [-seed 5] [-machine quad|tri] [-delta 0.06] [-technique loop]
+//	       [-min 45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
+	"phasetune/internal/phase"
+	"phasetune/internal/sim"
+	"phasetune/internal/textplot"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "tuned", "baseline, tuned, or overhead")
+	slots := flag.Int("slots", 18, "workload slots")
+	duration := flag.Float64("duration", 400, "duration in simulated seconds")
+	seed := flag.Uint64("seed", 5, "workload seed")
+	machineFlag := flag.String("machine", "quad", "quad or tri")
+	delta := flag.Float64("delta", 0.06, "IPC threshold")
+	technique := flag.String("technique", "loop", "bb, interval, or loop")
+	minSize := flag.Int("min", 45, "minimum section size")
+	flag.Parse()
+
+	if err := run(*mode, *slots, *duration, *seed, *machineFlag, *delta, *technique, *minSize); err != nil {
+		fmt.Fprintln(os.Stderr, "ampsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modeName string, slots int, duration float64, seed uint64, machineName string, delta float64, technique string, minSize int) error {
+	var machine *amp.Machine
+	switch machineName {
+	case "quad":
+		machine = amp.Quad2Fast2Slow()
+	case "tri":
+		machine = amp.ThreeCore2Fast1Slow()
+	default:
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
+	var mode sim.Mode
+	switch modeName {
+	case "baseline":
+		mode = sim.Baseline
+	case "tuned":
+		mode = sim.Tuned
+	case "overhead":
+		mode = sim.Overhead
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	var tech transition.Technique
+	switch technique {
+	case "bb":
+		tech = transition.BasicBlock
+	case "interval":
+		tech = transition.Interval
+	case "loop":
+		tech = transition.Loop
+	default:
+		return fmt.Errorf("unknown technique %q", technique)
+	}
+
+	cost := exec.DefaultCostModel()
+	suite, err := workload.Suite(cost, machine)
+	if err != nil {
+		return err
+	}
+	w := workload.BuildWorkload(suite, slots, 256, seed)
+	tcfg := tuning.DefaultConfig()
+	tcfg.Delta = delta
+	res, err := sim.Run(sim.RunConfig{
+		Machine:     machine,
+		Cost:        &cost,
+		Workload:    w,
+		DurationSec: duration,
+		Mode:        mode,
+		Params: transition.Params{
+			Technique: tech, MinSize: minSize, PropagateThroughUntyped: true,
+		},
+		Tuning:     tcfg,
+		TypingOpts: phase.Options{K: 2, MinBlockInstrs: 5},
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	migrations, marks := 0, uint64(0)
+	for _, t := range res.Tasks {
+		migrations += t.Migrations
+		marks += t.MarksExecuted
+	}
+	tput := metrics.ThroughputOver(res.Samples, 0, duration)
+
+	t := textplot.NewTable("metric", "value")
+	t.AddRow("machine", machine.Name)
+	t.AddRow("mode", mode.String())
+	t.AddRow("slots", fmt.Sprintf("%d", slots))
+	t.AddRow("duration", fmt.Sprintf("%.0fs", duration))
+	t.AddRow("jobs spawned", fmt.Sprintf("%d", len(res.Tasks)))
+	t.AddRow("jobs completed", fmt.Sprintf("%d", metrics.CompletedCount(res.Tasks)))
+	t.AddRow("avg process time", fmt.Sprintf("%.2fs", metrics.AvgProcessTime(res.Tasks)))
+	t.AddRow("max flow", fmt.Sprintf("%.2fs", metrics.MaxFlow(res.Tasks)))
+	t.AddRow("throughput", fmt.Sprintf("%.4g instr/s", tput))
+	t.AddRow("core switches", fmt.Sprintf("%d", migrations))
+	t.AddRow("marks executed", fmt.Sprintf("%d", marks))
+	t.AddRow("counter deferrals", fmt.Sprintf("%d", res.CounterDefers))
+	fmt.Print(t.String())
+	_ = osched.DefaultConfig
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command benchgen generates the synthetic SPEC-like benchmark suite and
+// prints each member's personality, static shape, and designed runtime.
+//
+// Usage:
+//
+//	benchgen [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/cfg"
+	"phasetune/internal/exec"
+	"phasetune/internal/prog"
+	"phasetune/internal/textplot"
+	"phasetune/internal/workload"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print per-procedure shapes")
+	dump := flag.String("dump", "", "write each benchmark image to DIR/<name>.ptprog")
+	flag.Parse()
+	if err := run(*verbose, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verbose bool, dump string) error {
+	machine := amp.Quad2Fast2Slow()
+	cost := exec.DefaultCostModel()
+	suite, err := workload.Suite(cost, machine)
+	if err != nil {
+		return err
+	}
+	if dump != "" {
+		if err := os.MkdirAll(dump, 0o755); err != nil {
+			return err
+		}
+		for _, b := range suite {
+			path := filepath.Join(dump, b.Name()+".ptprog")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := prog.Encode(f, b.Prog); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	t := textplot.NewTable("benchmark", "phases", "alternations", "target(s)", "paper(s)", "instrs", "bytes")
+	for _, b := range suite {
+		phases := ""
+		for i, ph := range b.Spec.Phases() {
+			if i > 0 {
+				phases += "+"
+			}
+			phases += ph.Kind.String()
+		}
+		t.AddRow(b.Name(),
+			phases,
+			fmt.Sprintf("%d", b.Spec.Alternations),
+			fmt.Sprintf("%.1f", b.Spec.TargetSec),
+			fmt.Sprintf("%.0f", b.Spec.PaperRuntimeSec),
+			fmt.Sprintf("%d", b.Prog.NumInstrs()),
+			fmt.Sprintf("%d", b.Prog.SizeBytes()))
+	}
+	fmt.Print(t.String())
+
+	if verbose {
+		for _, b := range suite {
+			fmt.Printf("\n%s:\n", b.Name())
+			graphs, err := cfg.BuildAll(b.Prog)
+			if err != nil {
+				return err
+			}
+			pt := textplot.NewTable("procedure", "instrs", "blocks", "loops")
+			for pi, g := range graphs {
+				pt.AddRow(b.Prog.Procs[pi].Name,
+					fmt.Sprintf("%d", len(b.Prog.Procs[pi].Instrs)),
+					fmt.Sprintf("%d", len(g.Blocks)),
+					fmt.Sprintf("%d", len(g.NaturalLoops())))
+			}
+			fmt.Print(pt.String())
+		}
+	}
+	return nil
+}

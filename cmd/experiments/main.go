@@ -1,0 +1,328 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated platform.
+//
+// Usage:
+//
+//	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
+//	             switchcost|typing|threecore|ablations]
+//	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
+//
+// Each experiment prints a paper-style table plus the paper's reported
+// numbers where applicable. -quick shrinks workload sizes for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phasetune/internal/experiments"
+	"phasetune/internal/textplot"
+	"phasetune/internal/workload"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run")
+	slots := flag.Int("slots", 0, "workload slots (0 = default 18)")
+	duration := flag.Float64("duration", 0, "workload duration in simulated seconds (0 = default 800)")
+	seedsFlag := flag.String("seeds", "", "comma-separated workload seeds (default 5,42,99)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	flag.Parse()
+
+	cfg, err := experiments.Default()
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		cfg = cfg.Scale(8, 200, []uint64{5})
+	}
+	if *slots > 0 {
+		cfg.Slots = *slots
+	}
+	if *duration > 0 {
+		cfg.DurationSec = *duration
+	}
+	if *seedsFlag != "" {
+		var seeds []uint64
+		for _, s := range strings.Split(*seedsFlag, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad seed %q: %w", s, err))
+			}
+			seeds = append(seeds, v)
+		}
+		cfg.Seeds = seeds
+	}
+
+	all := *runFlag == "all"
+	ran := false
+	for _, exp := range []struct {
+		name string
+		fn   func(experiments.Config) error
+	}{
+		{"fig3", fig3},
+		{"fig4", fig4},
+		{"table1", table1},
+		{"fig5", fig5},
+		{"fig6", fig6},
+		{"fig7", fig7},
+		{"table2", table2},
+		{"fig8", fig8},
+		{"switchcost", switchcost},
+		{"typing", typing},
+		{"threecore", threecore},
+		{"ablations", ablations},
+	} {
+		if all || *runFlag == exp.name {
+			ran = true
+			if err := exp.fn(cfg); err != nil {
+				fatal(fmt.Errorf("%s: %w", exp.name, err))
+			}
+		}
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *runFlag))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func fig3(cfg experiments.Config) error {
+	header("Fig. 3 — space overhead per technique (paper: best Loop[45] < 4%)")
+	rows, err := experiments.Fig3SpaceOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	var names []string
+	var mins, q1s, meds, q3s, maxs []float64
+	t := textplot.NewTable("variant", "min%", "q1%", "median%", "q3%", "max%", "marks/bench")
+	for _, r := range rows {
+		t.AddRow(r.Variant,
+			fmt.Sprintf("%.2f", 100*r.Box.Min),
+			fmt.Sprintf("%.2f", 100*r.Box.Q1),
+			fmt.Sprintf("%.2f", 100*r.Box.Median),
+			fmt.Sprintf("%.2f", 100*r.Box.Q3),
+			fmt.Sprintf("%.2f", 100*r.Box.Max),
+			fmt.Sprintf("%.2f", r.MeanMarks))
+		names = append(names, r.Variant)
+		mins = append(mins, 100*r.Box.Min)
+		q1s = append(q1s, 100*r.Box.Q1)
+		meds = append(meds, 100*r.Box.Median)
+		q3s = append(q3s, 100*r.Box.Q3)
+		maxs = append(maxs, 100*r.Box.Max)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	fmt.Print(textplot.BoxPlot(names, mins, q1s, meds, q3s, maxs, 48))
+	return nil
+}
+
+func fig4(cfg experiments.Config) error {
+	header("Fig. 4 — time overhead, all-cores mode (paper: as low as 0.14%)")
+	rows, err := experiments.Fig4TimeOverhead(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("variant", "overhead%", "marks executed")
+	for _, r := range rows {
+		t.AddRow(r.Variant, fmt.Sprintf("%.3f", r.OverheadPct), fmt.Sprintf("%d", r.MarksExecuted))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func table1(cfg experiments.Config) error {
+	header(fmt.Sprintf("Table 1 — switches per benchmark, Loop[45] (paper values scaled by 1/%d)", workload.ScaleDivisor))
+	rows, err := experiments.Table1Switches(cfg)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("benchmark", "switches", "paper/20", "runtime(s)", "paper(s)/20")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.PaperSwitches/workload.ScaleDivisor),
+			fmt.Sprintf("%.1f", r.RuntimeSec),
+			fmt.Sprintf("%.1f", r.PaperRuntimeSec/workload.ScaleDivisor))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func fig5(cfg experiments.Config) error {
+	header("Fig. 5 — average cycles per core switch, log scale")
+	rows, err := experiments.Table1Switches(cfg)
+	if err != nil {
+		return err
+	}
+	var names []string
+	var vals []float64
+	for _, r := range rows {
+		names = append(names, r.Benchmark)
+		vals = append(vals, r.CyclesPerSwitch)
+	}
+	fmt.Print(textplot.LogBars(names, vals, 48))
+	return nil
+}
+
+func fig6(cfg experiments.Config) error {
+	header("Fig. 6 — throughput vs IPC threshold, BB[15,0] (paper: optimum between extremes)")
+	rows, err := experiments.Fig6Thresholds(cfg, nil)
+	if err != nil {
+		return err
+	}
+	var xs, ys []float64
+	for _, r := range rows {
+		xs = append(xs, r.Delta)
+		ys = append(ys, r.ImprovementPct)
+	}
+	fmt.Print(textplot.Series("delta", "tput +%", xs, ys, 36))
+	return nil
+}
+
+func fig7(cfg experiments.Config) error {
+	header("Fig. 7 — throughput vs clustering error, BB[15,0] (paper: robust to 20%)")
+	rows, err := experiments.Fig7ClusteringError(cfg, nil)
+	if err != nil {
+		return err
+	}
+	var xs, ys []float64
+	for _, r := range rows {
+		xs = append(xs, r.ErrorPct)
+		ys = append(ys, r.ImprovementPct)
+	}
+	fmt.Print(textplot.Series("error %", "tput +%", xs, ys, 36))
+	return nil
+}
+
+func table2(cfg experiments.Config) error {
+	header("Table 2 — fairness vs stock Linux, % decrease (paper best Loop[45]: 12.04/20.41/35.95)")
+	rows, err := experiments.Table2Fairness(cfg, nil)
+	if err != nil {
+		return err
+	}
+	printFairness(rows)
+	return nil
+}
+
+func printFairness(rows []experiments.FairnessRow) {
+	t := textplot.NewTable("variant", "max-flow%", "max-stretch%", "avg-time%", "matched-avg%", "tput%")
+	for _, r := range rows {
+		t.AddRow(r.Variant,
+			fmt.Sprintf("%+.2f", r.MaxFlowPct),
+			fmt.Sprintf("%+.2f", r.MaxStretchPct),
+			fmt.Sprintf("%+.2f", r.AvgTimePct),
+			fmt.Sprintf("%+.2f", r.MatchedAvgPct),
+			fmt.Sprintf("%+.2f", r.ThroughputPct))
+	}
+	fmt.Print(t.String())
+}
+
+func fig8(cfg experiments.Config) error {
+	header("Fig. 8 — speedup vs fairness trade-off (avg time vs max stretch)")
+	rows, err := experiments.Fig8Tradeoff(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("variant", "x=max-stretch%", "y=avg-time%")
+	for _, r := range rows {
+		t.AddRow(r.Variant, fmt.Sprintf("%+.2f", r.MaxStretchPct), fmt.Sprintf("%+.2f", r.AvgTimePct))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func printAblation(rows []experiments.AblationRow) {
+	t := textplot.NewTable("variant", "avg-time%", "tput%", "max-stretch%")
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%+.2f", r.AvgTimePct),
+			fmt.Sprintf("%+.2f", r.ThroughputPct),
+			fmt.Sprintf("%+.2f", r.MaxStretchPct))
+	}
+	fmt.Print(t.String())
+}
+
+func switchcost(cfg experiments.Config) error {
+	header("§IV-B3 — core switch cost (paper: ~1000 cycles)")
+	r, err := experiments.SwitchCost(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured: %.0f cycles/switch (scaled clock), %.0f cycles descaled; %d switches\n",
+		r.CyclesPerSwitch, r.DescaledCycles, r.Switches)
+	return nil
+}
+
+func typing(cfg experiments.Config) error {
+	header("§II-A3 — static typing accuracy (paper: ~15% misclassified)")
+	r, err := experiments.TypingAccuracy(cfg, 0.06)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agreement with IPC oracle: %.1f%% over %d blocks (misclassified %.1f%%)\n",
+		100*r.Agreement, r.Blocks, 100*(1-r.Agreement))
+	return nil
+}
+
+func threecore(cfg experiments.Config) error {
+	header("§VII — 3-core (2 fast, 1 slow) machine (paper: ~32% speedup)")
+	r, err := experiments.ThreeCore(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("avg process time decrease: %+.2f%% (matched %+.2f%%), throughput: %+.2f%%\n",
+		r.AvgTimePct, r.MatchedAvgPct, r.ThroughputPct)
+	return nil
+}
+
+func ablations(cfg experiments.Config) error {
+	header("Ablation — pin to core type vs single core")
+	rows, err := experiments.AblationPinMode(cfg)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+
+	header("Ablation — bounded monitoring vs mark-only monitoring")
+	rows, err = experiments.AblationMonitorBound(cfg)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+
+	header("Ablation — positional (phase marks) vs temporal (interval resampling)")
+	rows, err = experiments.AblationTemporal(cfg, 50000)
+	if err != nil {
+		return err
+	}
+	printAblation(rows)
+
+	header("Ablation — static marks: propagation vs naive edge rule")
+	rows, err = experiments.AblationPropagation(cfg)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("variant", "total static marks")
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.0f", r.AvgTimePct))
+	}
+	fmt.Print(t.String())
+
+	header("Ablation — counter contention with 4 bounded event sets")
+	cc, err := experiments.CounterContentionCheck(cfg, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("monitoring deferrals: %d (marks executed: %d)\n", cc.Defers, cc.Marks)
+	return nil
+}

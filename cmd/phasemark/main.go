@@ -1,0 +1,149 @@
+// Command phasemark runs the static side of phase-based tuning on one suite
+// benchmark: CFG construction, block typing, transition analysis, and
+// instrumentation, reporting the plan and the space overhead.
+//
+// Usage:
+//
+//	phasemark [-bench 401.bzip2] [-technique loop|interval|bb]
+//	          [-min 45] [-lookahead 0] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/cfg"
+	"phasetune/internal/exec"
+	"phasetune/internal/instrument"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/summarize"
+	"phasetune/internal/textplot"
+	"phasetune/internal/transition"
+	"phasetune/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "401.bzip2", "suite benchmark name")
+	load := flag.String("load", "", "analyze a saved .ptprog image instead of a suite benchmark")
+	technique := flag.String("technique", "loop", "bb, interval, or loop")
+	minSize := flag.Int("min", 45, "minimum section size in instructions")
+	lookahead := flag.Int("lookahead", 0, "BB lookahead depth")
+	verbose := flag.Bool("v", false, "list every mark site")
+	flag.Parse()
+
+	if err := run(*bench, *load, *technique, *minSize, *lookahead, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "phasemark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, load, technique string, minSize, lookahead int, verbose bool) error {
+	var image *prog.Program
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		image, err = prog.Decode(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		machine := amp.Quad2Fast2Slow()
+		cost := exec.DefaultCostModel()
+		suite, err := workload.Suite(cost, machine)
+		if err != nil {
+			return err
+		}
+		for _, b := range suite {
+			if b.Name() == bench {
+				image = b.Prog
+			}
+		}
+		if image == nil {
+			return fmt.Errorf("unknown benchmark %q (try cmd/benchgen for the list)", bench)
+		}
+	}
+
+	var tech transition.Technique
+	switch technique {
+	case "bb":
+		tech = transition.BasicBlock
+	case "interval":
+		tech = transition.Interval
+	case "loop":
+		tech = transition.Loop
+	default:
+		return fmt.Errorf("unknown technique %q", technique)
+	}
+	params := transition.Params{
+		Technique: tech, MinSize: minSize, Lookahead: lookahead,
+		PropagateThroughUntyped: true,
+	}
+
+	p := image
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		return err
+	}
+	cg := cfg.BuildCallGraph(p, graphs)
+	typing, err := phase.ClusterBlocks(p, graphs, phase.Options{K: 2, MinBlockInstrs: 5})
+	if err != nil {
+		return err
+	}
+	var sum *summarize.Summary
+	if tech == transition.Loop {
+		sum = summarize.SummarizeLoops(p, graphs, cg, typing, summarize.DefaultWeights())
+	}
+	plan, err := transition.ComputePlan(p, graphs, cg, typing, sum, params)
+	if err != nil {
+		return err
+	}
+	bin, err := instrument.ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		return err
+	}
+
+	blocks, loops := 0, 0
+	for _, g := range graphs {
+		blocks += len(g.Blocks)
+		loops += len(g.NaturalLoops())
+	}
+	stats := phase.ComputeStats(typing)
+
+	t := textplot.NewTable("property", "value")
+	t.AddRow("benchmark", p.Name)
+	t.AddRow("variant", params.Name())
+	t.AddRow("procedures", fmt.Sprintf("%d", len(p.Procs)))
+	t.AddRow("static instructions", fmt.Sprintf("%d", p.NumInstrs()))
+	t.AddRow("basic blocks", fmt.Sprintf("%d", blocks))
+	t.AddRow("natural loops", fmt.Sprintf("%d", loops))
+	t.AddRow("typed blocks", fmt.Sprintf("%d", stats.TypedBlocks))
+	t.AddRow("phase types", fmt.Sprintf("%d", typing.K))
+	t.AddRow("marks", fmt.Sprintf("%d", bin.NumMarks()))
+	t.AddRow("binary bytes", fmt.Sprintf("%d -> %d", bin.OrigBytes, bin.NewBytes))
+	t.AddRow("space overhead", fmt.Sprintf("%.3f%%", 100*bin.SpaceOverhead()))
+	fmt.Print(t.String())
+
+	if verbose {
+		fmt.Println()
+		mt := textplot.NewTable("mark", "proc", "edge", "kind", "type")
+		for _, m := range bin.Marks {
+			kind := "inline"
+			if m.Stub {
+				kind = "stub"
+			}
+			mt.AddRow(fmt.Sprintf("%d", m.ID),
+				p.Procs[m.Site.Proc].Name,
+				fmt.Sprintf("%d->%d", m.Site.From, m.Site.To),
+				kind,
+				fmt.Sprintf("%d", m.Type))
+		}
+		fmt.Print(mt.String())
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Customamp reproduces the paper's future-work configuration (§VII): the
+// same tuned binaries, unchanged, on a 3-core machine with 2 fast and 1
+// slow core — "tune once, run anywhere". The paper reports ~32% speedup
+// there.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasetune"
+)
+
+func main() {
+	machine := phasetune.ThreeCoreAMP()
+	cost := phasetune.DefaultCost()
+	suite, err := phasetune.SuiteFor(cost, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A single slow core serves the DRAM-bound phases on this machine, so
+	// keep the workload lighter than the quad experiments.
+	w := phasetune.NewWorkload(suite, 8, 256, 11)
+	const duration = 400
+
+	run := func(mode phasetune.RunMode) *phasetune.RunResult {
+		res, err := phasetune.Run(phasetune.RunConfig{
+			Machine: machine, Cost: &cost,
+			Workload: w, DurationSec: duration, Mode: mode,
+			Params: phasetune.BestParams(), Tuning: phasetune.DefaultTuning(),
+			TypingOpts: phasetune.DefaultTyping(), Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(phasetune.Baseline)
+	tuned := run(phasetune.Tuned)
+
+	bAvg := phasetune.AvgProcessTime(base.Tasks)
+	tAvg := phasetune.AvgProcessTime(tuned.Tasks)
+	fmt.Printf("machine: %s (2 fast + 1 slow, no second slow core)\n", machine.Name)
+	fmt.Printf("baseline avg process time: %.2fs\n", bAvg)
+	fmt.Printf("tuned    avg process time: %.2fs\n", tAvg)
+	fmt.Printf("speedup: %.1f%% (paper reports ~32%% for this setup)\n", 100*(bAvg-tAvg)/bAvg)
+	fmt.Printf("throughput: %.3g -> %.3g instructions\n",
+		float64(base.TotalInstructions), float64(tuned.TotalInstructions))
+	fmt.Println("\nThe binaries are identical to the quad-machine ones: the dynamic")
+	fmt.Println("analysis discovered the new asymmetry at run time (tune once, run anywhere).")
+}

@@ -1,0 +1,67 @@
+// Package cache models contention on shared last-level caches.
+//
+// The paper's machine shares each L2 between a pair of cores (§IV-A1), so a
+// process's effective cache capacity depends on who runs beside it. This
+// model is deliberately analytic and cheap — it is consulted on every basic
+// block execution: each L2 group tracks how many processes are currently
+// running on its cores, and a process's effective share is the group's
+// capacity divided by the occupant count. Combined with the reuse-distance
+// profile of the executing block (internal/reuse), this yields the expected
+// miss ratio used by the timing model.
+package cache
+
+import (
+	"fmt"
+
+	"phasetune/internal/amp"
+)
+
+// Model tracks per-L2-group occupancy.
+type Model struct {
+	groups []group
+}
+
+type group struct {
+	sizeKB    float64
+	occupants int
+}
+
+// New builds a model for the machine.
+func New(m *amp.Machine) *Model {
+	md := &Model{groups: make([]group, len(m.L2s))}
+	for i, g := range m.L2s {
+		md.groups[i] = group{sizeKB: g.SizeKB}
+	}
+	return md
+}
+
+// Attach records that a process began running on a core of the group.
+func (m *Model) Attach(groupID int) {
+	m.groups[groupID].occupants++
+}
+
+// Detach records that a process stopped running on a core of the group.
+// It panics if the group has no occupants — that is always a simulator
+// accounting bug worth failing loudly on.
+func (m *Model) Detach(groupID int) {
+	g := &m.groups[groupID]
+	if g.occupants <= 0 {
+		panic(fmt.Sprintf("cache: detach from empty L2 group %d", groupID))
+	}
+	g.occupants--
+}
+
+// ShareKB returns the effective capacity available to one process running
+// on a core of the group: the capacity divided equally among current
+// occupants (at least one — the querying process itself).
+func (m *Model) ShareKB(groupID int) float64 {
+	g := m.groups[groupID]
+	n := g.occupants
+	if n < 1 {
+		n = 1
+	}
+	return g.sizeKB / float64(n)
+}
+
+// Occupants returns the current occupant count of the group (diagnostics).
+func (m *Model) Occupants(groupID int) int { return m.groups[groupID].occupants }

@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"testing"
+
+	"phasetune/internal/amp"
+)
+
+func TestShareDividesByOccupants(t *testing.T) {
+	m := New(amp.Quad2Fast2Slow())
+	if got := m.ShareKB(0); got != 4096 {
+		t.Errorf("empty group share = %g, want full 4096", got)
+	}
+	m.Attach(0)
+	if got := m.ShareKB(0); got != 4096 {
+		t.Errorf("single occupant share = %g, want 4096", got)
+	}
+	m.Attach(0)
+	if got := m.ShareKB(0); got != 2048 {
+		t.Errorf("two occupants share = %g, want 2048", got)
+	}
+	m.Detach(0)
+	if got := m.ShareKB(0); got != 4096 {
+		t.Errorf("after detach share = %g, want 4096", got)
+	}
+}
+
+func TestGroupsIndependent(t *testing.T) {
+	m := New(amp.Quad2Fast2Slow())
+	m.Attach(0)
+	m.Attach(0)
+	if m.ShareKB(1) != 4096 {
+		t.Error("group 1 affected by group 0 occupancy")
+	}
+	if m.Occupants(0) != 2 || m.Occupants(1) != 0 {
+		t.Errorf("occupants = %d, %d; want 2, 0", m.Occupants(0), m.Occupants(1))
+	}
+}
+
+func TestDetachEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach on empty group did not panic")
+		}
+	}()
+	New(amp.Quad2Fast2Slow()).Detach(0)
+}
+
+func TestDifferentGroupSizes(t *testing.T) {
+	m := New(amp.ThreeCore2Fast1Slow())
+	if m.ShareKB(0) != 4096 || m.ShareKB(1) != 2048 {
+		t.Errorf("shares = %g, %g; want 4096, 2048", m.ShareKB(0), m.ShareKB(1))
+	}
+}

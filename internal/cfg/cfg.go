@@ -1,0 +1,363 @@
+// Package cfg builds and analyzes control-flow graphs over program images.
+//
+// It provides the static program structure the paper's phase-transition
+// analysis (§II-A) is defined on: basic blocks with one entry and one exit
+// (Allen's classic definition), special nodes for calls and syscalls,
+// forward/backward edge classification, dominators, natural loops with their
+// nesting forest, Allen's interval partition, and the inter-procedural call
+// graph.
+package cfg
+
+import (
+	"fmt"
+
+	"phasetune/internal/isa"
+	"phasetune/internal/prog"
+)
+
+// BlockKind distinguishes ordinary basic blocks from the special CFG nodes
+// the paper ranges over with S (procedure invocations and system calls).
+type BlockKind uint8
+
+const (
+	// KindNormal is an ordinary basic block.
+	KindNormal BlockKind = iota
+	// KindCall is a special node holding exactly one Call instruction.
+	KindCall
+	// KindSyscall is a special node holding exactly one Syscall instruction.
+	KindSyscall
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindCall:
+		return "call"
+	case KindSyscall:
+		return "syscall"
+	}
+	return fmt.Sprintf("blockkind(%d)", uint8(k))
+}
+
+// Block is a node of the intra-procedural CFG.
+type Block struct {
+	// ID is the block's index in Graph.Blocks.
+	ID int
+	// Kind classifies the node (normal, call, syscall).
+	Kind BlockKind
+	// Start and End delimit the instruction range [Start, End) in the
+	// procedure's instruction array.
+	Start, End int
+	// Instrs is the instruction slice (a view into the procedure).
+	Instrs []isa.Instruction
+	// Succs and Preds list successor and predecessor block IDs in
+	// deterministic order.
+	Succs, Preds []int
+	// CalleeProc is the callee procedure index for KindCall blocks, else -1.
+	CalleeProc int
+}
+
+// NumInstrs returns the number of instructions in the block.
+func (b *Block) NumInstrs() int { return b.End - b.Start }
+
+// SizeBytes returns the encoded size of the block.
+func (b *Block) SizeBytes() int {
+	n := 0
+	for _, in := range b.Instrs {
+		n += in.SizeBytes()
+	}
+	return n
+}
+
+// Mix returns the instruction-class histogram of the block.
+func (b *Block) Mix() isa.Mix {
+	var m isa.Mix
+	for _, in := range b.Instrs {
+		m.Add(in.Op)
+	}
+	return m
+}
+
+// Edge is a directed control-flow edge. Back reports the paper's b/f edge
+// attribute: an edge is backward when its target dominates its source
+// (equivalently, when it closes a natural loop in a reducible graph).
+type Edge struct {
+	From, To int
+	Back     bool
+}
+
+// Graph is an attributed intra-procedural control-flow graph.
+type Graph struct {
+	// ProcIndex is the procedure's index within its program.
+	ProcIndex int
+	// ProcName is the procedure's name, for diagnostics.
+	ProcName string
+	// Blocks lists the nodes; Blocks[i].ID == i.
+	Blocks []*Block
+	// Entry is the entry block ID (always 0: the block at instruction 0).
+	Entry int
+	// Edges lists all edges with their back/forward classification.
+	Edges []Edge
+
+	instrToBlock []int // instruction index -> block ID
+	idom         []int // immediate dominators, computed lazily
+	rpo          []int // reverse postorder, computed lazily
+}
+
+// Build constructs the CFG of a procedure.
+//
+// Leader rules: instruction 0; any branch/jump target; any instruction
+// following a control transfer or syscall. Call and Syscall instructions
+// additionally form their own single-instruction special nodes.
+func Build(p *prog.Procedure, procIndex int) (*Graph, error) {
+	n := len(p.Instrs)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: procedure %q is empty", p.Name)
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case isa.Branch, isa.Jump:
+			if in.Target < 0 || in.Target >= n {
+				return nil, fmt.Errorf("cfg: %s+%d: target %d out of range", p.Name, i, in.Target)
+			}
+			leader[in.Target] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case isa.Call, isa.Syscall:
+			// Special nodes: the call itself starts a block, and so does the
+			// instruction after it.
+			leader[i] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case isa.Ret:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &Graph{ProcIndex: procIndex, ProcName: p.Name, instrToBlock: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{
+				ID:         len(g.Blocks),
+				Start:      start,
+				End:        i,
+				Instrs:     p.Instrs[start:i],
+				CalleeProc: -1,
+			}
+			switch p.Instrs[start].Op {
+			case isa.Call:
+				b.Kind = KindCall
+				b.CalleeProc = p.Instrs[start].Target
+			case isa.Syscall:
+				b.Kind = KindSyscall
+			}
+			g.Blocks = append(g.Blocks, b)
+			for j := start; j < i; j++ {
+				g.instrToBlock[j] = b.ID
+			}
+			start = i
+		}
+	}
+
+	// Successor edges. Fallthrough first, then the taken target, so the
+	// interpreter's "not taken" path is Succs[0] for branch-terminated blocks.
+	for _, b := range g.Blocks {
+		last := b.Instrs[len(b.Instrs)-1]
+		switch last.Op {
+		case isa.Branch:
+			if b.End < n {
+				g.addEdge(b.ID, g.instrToBlock[b.End])
+			}
+			g.addEdge(b.ID, g.instrToBlock[last.Target])
+		case isa.Jump:
+			g.addEdge(b.ID, g.instrToBlock[last.Target])
+		case isa.Ret:
+			// No intra-procedural successor.
+		default:
+			// Fallthrough (including after Call/Syscall special nodes).
+			if b.End < n {
+				g.addEdge(b.ID, g.instrToBlock[b.End])
+			}
+		}
+	}
+
+	g.classifyEdges()
+	return g, nil
+}
+
+// addEdge appends an edge, deduplicating parallel edges (a branch whose taken
+// and fallthrough targets coincide).
+func (g *Graph) addEdge(from, to int) {
+	for _, s := range g.Blocks[from].Succs {
+		if s == to {
+			return
+		}
+	}
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	g.Edges = append(g.Edges, Edge{From: from, To: to})
+}
+
+// BlockOf returns the block ID containing instruction index i.
+func (g *Graph) BlockOf(i int) int { return g.instrToBlock[i] }
+
+// RPO returns the reverse postorder of blocks reachable from the entry.
+func (g *Graph) RPO() []int {
+	if g.rpo != nil {
+		return g.rpo
+	}
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range g.Blocks[u].Succs {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	g.rpo = post
+	return post
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool {
+	for _, u := range g.RPO() {
+		if u == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Idom returns the immediate-dominator array: Idom()[b] is the immediate
+// dominator of block b, with Idom()[entry] == entry and -1 for unreachable
+// blocks. Uses the Cooper-Harvey-Kennedy iterative algorithm.
+func (g *Graph) Idom() []int {
+	if g.idom != nil {
+		return g.idom
+	}
+	rpo := g.RPO()
+	order := make([]int, len(g.Blocks)) // block -> RPO position
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry] = g.Entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom = idom
+	return idom
+}
+
+// Dominates reports whether block a dominates block b.
+func (g *Graph) Dominates(a, b int) bool {
+	idom := g.Idom()
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == g.Entry {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// classifyEdges sets Edge.Back for edges whose target dominates their source.
+func (g *Graph) classifyEdges() {
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if g.Reachable(e.From) && g.Dominates(e.To, e.From) {
+			e.Back = true
+		}
+	}
+}
+
+// BackEdge reports whether the edge from -> to is a back edge.
+func (g *Graph) BackEdge(from, to int) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return e.Back
+		}
+	}
+	return false
+}
+
+// ForwardSuccs returns the successors of b reachable via forward edges, in
+// deterministic order.
+func (g *Graph) ForwardSuccs(b int) []int {
+	var out []int
+	for _, s := range g.Blocks[b].Succs {
+		if !g.BackEdge(b, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SizeBytes returns the encoded size of all blocks.
+func (g *Graph) SizeBytes() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += b.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package cfg
+
+import "sort"
+
+// Interval is Allen's interval: "the maximal, single entry subgraph for which
+// h is the entry node and in which all closed paths contain h" (Allen 1970,
+// quoted in the paper §II-A1b).
+type Interval struct {
+	// ID indexes the interval in the partition.
+	ID int
+	// Header is the interval's entry block.
+	Header int
+	// Blocks is the member set, sorted ascending; the header is included.
+	Blocks []int
+
+	member map[int]bool
+}
+
+// Contains reports whether block b belongs to the interval.
+func (iv *Interval) Contains(b int) bool { return iv.member[b] }
+
+// NumInstrs returns the total instruction count of the interval.
+func (iv *Interval) NumInstrs(g *Graph) int {
+	n := 0
+	for _, b := range iv.Blocks {
+		n += g.Blocks[b].NumInstrs()
+	}
+	return n
+}
+
+// Intervals computes the unique partition of the reachable blocks into
+// intervals using Allen's classic worklist algorithm:
+//
+//	H := {entry}
+//	for each unprocessed h in H:
+//	    I(h) := {h}
+//	    add to I(h) any node whose predecessors all lie in I(h)
+//	    add to H any node not yet in an interval with a predecessor in I(h)
+//
+// Every reachable block lands in exactly one interval.
+func (g *Graph) Intervals() []*Interval {
+	reachable := make([]bool, len(g.Blocks))
+	for _, b := range g.RPO() {
+		reachable[b] = true
+	}
+
+	inInterval := make([]bool, len(g.Blocks))
+	isHeader := make([]bool, len(g.Blocks))
+	var headers []int
+	push := func(h int) {
+		if !isHeader[h] {
+			isHeader[h] = true
+			headers = append(headers, h)
+		}
+	}
+	push(g.Entry)
+
+	var out []*Interval
+	for qi := 0; qi < len(headers); qi++ {
+		h := headers[qi]
+		member := map[int]bool{h: true}
+		inInterval[h] = true
+		// Grow: add nodes all of whose predecessors are inside.
+		for changed := true; changed; {
+			changed = false
+			for b := range g.Blocks {
+				if !reachable[b] || member[b] || inInterval[b] || isHeader[b] {
+					continue
+				}
+				preds := g.Blocks[b].Preds
+				if len(preds) == 0 {
+					continue
+				}
+				all := true
+				for _, p := range preds {
+					if !member[p] {
+						all = false
+						break
+					}
+				}
+				if all {
+					member[b] = true
+					inInterval[b] = true
+					changed = true
+				}
+			}
+		}
+		// New headers: nodes outside all intervals with a predecessor inside.
+		for b := range g.Blocks {
+			if !reachable[b] || inInterval[b] || isHeader[b] {
+				continue
+			}
+			for _, p := range g.Blocks[b].Preds {
+				if member[p] {
+					push(b)
+					break
+				}
+			}
+		}
+		blocks := make([]int, 0, len(member))
+		for b := range member {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		out = append(out, &Interval{ID: len(out), Header: h, Blocks: blocks, member: member})
+	}
+	return out
+}
+
+// IntervalOf returns, for each block, the ID of its interval (or -1 for
+// unreachable blocks).
+func IntervalOf(g *Graph, ivs []*Interval) []int {
+	of := make([]int, len(g.Blocks))
+	for i := range of {
+		of[i] = -1
+	}
+	for _, iv := range ivs {
+		for _, b := range iv.Blocks {
+			of[b] = iv.ID
+		}
+	}
+	return of
+}
+
+// IntervalGraph is the derived (higher-order) graph whose nodes are the
+// intervals of the underlying graph. Iterating the derivation yields Allen's
+// interval sequence; a graph whose derivation reaches a single node is
+// reducible. The paper's interval technique operates on the first-order
+// graph, but the derived sequence is exposed for analysis and tests.
+type IntervalGraph struct {
+	// Intervals are the nodes.
+	Intervals []*Interval
+	// Succs and Preds are adjacency lists over interval IDs.
+	Succs, Preds [][]int
+	// Entry is the interval containing the original entry block.
+	Entry int
+}
+
+// DeriveIntervalGraph builds the interval graph of g.
+func DeriveIntervalGraph(g *Graph) *IntervalGraph {
+	ivs := g.Intervals()
+	of := IntervalOf(g, ivs)
+	ig := &IntervalGraph{
+		Intervals: ivs,
+		Succs:     make([][]int, len(ivs)),
+		Preds:     make([][]int, len(ivs)),
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		fi, ti := of[e.From], of[e.To]
+		if fi == -1 || ti == -1 || fi == ti {
+			continue
+		}
+		k := [2]int{fi, ti}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ig.Succs[fi] = append(ig.Succs[fi], ti)
+		ig.Preds[ti] = append(ig.Preds[ti], fi)
+	}
+	for i := range ig.Succs {
+		sort.Ints(ig.Succs[i])
+		sort.Ints(ig.Preds[i])
+	}
+	ig.Entry = of[g.Entry]
+	return ig
+}
+
+// Order returns the number of derivation steps needed to reduce g to a single
+// interval, or -1 if the sequence stops shrinking first (irreducible graph).
+// The first-order interval count is also returned.
+func IntervalOrder(g *Graph) (order, firstOrderCount int) {
+	ig := DeriveIntervalGraph(g)
+	firstOrderCount = len(ig.Intervals)
+	order = 1
+	n := len(ig.Intervals)
+	for n > 1 {
+		next := deriveFromIntervalGraph(ig)
+		if len(next.Intervals) == n {
+			return -1, firstOrderCount
+		}
+		ig = next
+		n = len(ig.Intervals)
+		order++
+	}
+	return order, firstOrderCount
+}
+
+// deriveFromIntervalGraph applies one more interval derivation to an interval
+// graph, treating intervals as atomic nodes.
+func deriveFromIntervalGraph(ig *IntervalGraph) *IntervalGraph {
+	// Build a temporary Graph shape with one synthetic block per interval.
+	n := len(ig.Intervals)
+	g := &Graph{Blocks: make([]*Block, n), Entry: ig.Entry}
+	for i := 0; i < n; i++ {
+		g.Blocks[i] = &Block{ID: i, CalleeProc: -1}
+	}
+	for from, succs := range ig.Succs {
+		for _, to := range succs {
+			g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+			g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+			g.Edges = append(g.Edges, Edge{From: from, To: to})
+		}
+	}
+	return DeriveIntervalGraph(g)
+}

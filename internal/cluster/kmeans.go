@@ -1,0 +1,188 @@
+// Package cluster implements k-means clustering (MacQueen 1967), the
+// grouping algorithm the paper uses to classify basic blocks into phase
+// types from their static features (§II-A3: "the blocks are then grouped
+// using the k-means clustering algorithm").
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phasetune/internal/rng"
+)
+
+// Point is a feature vector. All points handed to KMeans must share one
+// dimensionality.
+type Point []float64
+
+// sqDist returns the squared Euclidean distance between two points.
+func sqDist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Centroids are the final cluster centers, len K.
+	Centroids []Point
+	// Assign maps each input point to its cluster index in [0, K).
+	Assign []int
+	// Inertia is the sum of squared distances from points to their centroid.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// ErrNoPoints is returned when the input is empty.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// KMeans clusters points into k groups using k-means++ seeding followed by
+// Lloyd iterations, stopping at convergence or maxIter. The run is
+// deterministic given r. If fewer than k distinct points exist, the extra
+// clusters are left empty (their centroids duplicate existing points) —
+// callers typically use small k (two core types: paper §VI-C).
+func KMeans(points []Point, k int, r *rng.Source, maxIter int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k = %d, want > 0", k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	res := &Result{}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if d := sqDist(p, ct); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iters = iter + 1
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			counts[c] = 0
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: re-seed on the farthest point from its
+				// centroid to avoid dead centers.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	res.Centroids = centroids
+	res.Assign = assign
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting
+// (Arthur & Vassilvitskii 2007): the first uniformly, each next with
+// probability proportional to its squared distance from the nearest chosen
+// centroid.
+func seedPlusPlus(points []Point, k int, r *rng.Source) []Point {
+	centroids := make([]Point, 0, k)
+	first := points[r.Intn(len(points))]
+	centroids = append(centroids, clonePoint(first))
+
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, clonePoint(points[r.Intn(len(points))]))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, clonePoint(points[pick]))
+	}
+	return centroids
+}
+
+func clonePoint(p Point) Point {
+	c := make(Point, len(p))
+	copy(c, p)
+	return c
+}
+
+// Nearest returns the index of the centroid nearest to p.
+func Nearest(centroids []Point, p Point) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ct := range centroids {
+		if d := sqDist(p, ct); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasetune/internal/rng"
+)
+
+// twoBlobs returns points in two well-separated clusters.
+func twoBlobs(n int, seed uint64) []Point {
+	r := rng.New(seed)
+	pts := make([]Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{0.1 + 0.05*r.Float64(), 0.1 + 0.05*r.Float64()})
+	}
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{0.9 + 0.05*r.Float64(), 0.9 + 0.05*r.Float64()})
+	}
+	return pts
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts := twoBlobs(50, 1)
+	res, err := KMeans(pts, 2, rng.New(2), 0)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	// All points of each blob must share a label, and the blobs must differ.
+	first, second := res.Assign[0], res.Assign[50]
+	if first == second {
+		t.Fatalf("blobs merged: labels %d, %d", first, second)
+	}
+	for i := 0; i < 50; i++ {
+		if res.Assign[i] != first {
+			t.Errorf("blob A point %d labeled %d, want %d", i, res.Assign[i], first)
+		}
+		if res.Assign[50+i] != second {
+			t.Errorf("blob B point %d labeled %d, want %d", i, res.Assign[50+i], second)
+		}
+	}
+}
+
+func TestAssignmentsAreNearestCentroid(t *testing.T) {
+	pts := twoBlobs(40, 3)
+	res, err := KMeans(pts, 3, rng.New(4), 0)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	for i, p := range pts {
+		if n := Nearest(res.Centroids, p); n != res.Assign[i] {
+			// Equal distances may tie; accept only exact-distance ties.
+			dn, da := sqDist(p, res.Centroids[n]), sqDist(p, res.Centroids[res.Assign[i]])
+			if math.Abs(dn-da) > 1e-12 {
+				t.Errorf("point %d assigned to %d (d=%g) but nearest is %d (d=%g)", i, res.Assign[i], da, n, dn)
+			}
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := twoBlobs(30, 5)
+	a, err := KMeans(pts, 2, rng.New(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 2, rng.New(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different assignment at %d", i)
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Errorf("same seed produced different inertia: %g vs %g", a.Inertia, b.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, rng.New(1), 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans([]Point{{1}}, 0, rng.New(1), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans([]Point{{1, 2}, {1}}, 1, rng.New(1), 0); err == nil {
+		t.Error("mismatched dimensions accepted")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := []Point{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	res, err := KMeans(pts, 2, rng.New(9), 0)
+	if err != nil {
+		t.Fatalf("KMeans on identical points: %v", err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestKMeansSinglePointPerCluster(t *testing.T) {
+	pts := []Point{{0}, {10}}
+	res, err := KMeans(pts, 2, rng.New(11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] == res.Assign[1] {
+		t.Error("two distant points share a cluster with k=2")
+	}
+	if res.Inertia > 1e-12 {
+		t.Errorf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+func TestInertiaNonNegativeAndLabelsInRange(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		pts := twoBlobs(20, seed)
+		res, err := KMeans(pts, 4, rng.New(seed+1), 0)
+		if err != nil {
+			return false
+		}
+		if res.Inertia < 0 {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= 4 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreClustersNeverWorse(t *testing.T) {
+	// Inertia with k=2 should be no worse than k=1 on separated blobs.
+	pts := twoBlobs(40, 13)
+	r1, err := KMeans(pts, 1, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(pts, 2, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Inertia > r1.Inertia {
+		t.Errorf("k=2 inertia %g > k=1 inertia %g", r2.Inertia, r1.Inertia)
+	}
+}

@@ -1,0 +1,377 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/cfg"
+	"phasetune/internal/instrument"
+	"phasetune/internal/isa"
+	"phasetune/internal/perfcnt"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/summarize"
+	"phasetune/internal/transition"
+)
+
+// buildImage compiles a builder program into an image.
+func buildImage(t *testing.T, p *prog.Program) *Image {
+	t.Helper()
+	img, err := NewImage(p, nil, DefaultCostModel())
+	if err != nil {
+		t.Fatalf("NewImage: %v", err)
+	}
+	return img
+}
+
+// computeProgram is pure integer work.
+func computeProgram(trips float64) *prog.Program {
+	b := prog.NewBuilder("compute")
+	b.Proc("main").Loop(trips, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{IntALU: 16, IntMul: 4})
+	}).Ret()
+	return b.MustBuild()
+}
+
+// memoryProgram streams a large working set.
+func memoryProgram(trips float64) *prog.Program {
+	b := prog.NewBuilder("memory")
+	b.Proc("main").Loop(trips, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{Load: 14, Store: 6, IntALU: 2, WorkingSetKB: 256 * 1024, Locality: 0.2})
+	}).Ret()
+	return b.MustBuild()
+}
+
+// run executes a fresh process of img to completion on one core type.
+func run(t *testing.T, img *Image, core *CoreParams, seed uint64) (instr, cycles uint64) {
+	t.Helper()
+	cm := DefaultCostModel()
+	p := NewProcess(1, img, &cm, seed, nil)
+	p.RunIsolated(core, 0, 4096, 0)
+	if !p.Exited() {
+		t.Fatal("process did not exit")
+	}
+	return p.Counters.Instructions, p.Counters.Cycles
+}
+
+func coreParams(t *testing.T) (fast, slow *CoreParams) {
+	t.Helper()
+	ps := ParamsFor(DefaultCostModel(), amp.Quad2Fast2Slow())
+	return &ps[0], &ps[1]
+}
+
+func TestComputeBoundEqualIPCFasterTime(t *testing.T) {
+	fast, slow := coreParams(t)
+	img := buildImage(t, computeProgram(2000))
+	iF, cF := run(t, img, fast, 7)
+	iS, cS := run(t, img, slow, 7)
+	if iF != iS {
+		t.Fatalf("instruction counts differ: %d vs %d (same seed)", iF, iS)
+	}
+	ipcF, ipcS := perfcnt.IPC(iF, cF), perfcnt.IPC(iS, cS)
+	if math.Abs(ipcF-ipcS) > 0.01*ipcF {
+		t.Errorf("compute-bound IPC differs across cores: fast %.4f slow %.4f", ipcF, ipcS)
+	}
+	// Same cycles, but the fast core retires them 1.5x faster in time.
+	tF := float64(cF) / fast.CyclesPerSec
+	tS := float64(cS) / slow.CyclesPerSec
+	if r := tS / tF; math.Abs(r-1.5) > 0.01 {
+		t.Errorf("compute-bound time ratio = %.3f, want 1.5", r)
+	}
+}
+
+func TestMemoryBoundHigherIPCOnSlowCore(t *testing.T) {
+	fast, slow := coreParams(t)
+	img := buildImage(t, memoryProgram(2000))
+	iF, cF := run(t, img, fast, 7)
+	iS, cS := run(t, img, slow, 7)
+	ipcF, ipcS := perfcnt.IPC(iF, cF), perfcnt.IPC(iS, cS)
+	if ipcS <= ipcF {
+		t.Errorf("memory-bound IPC: slow %.4f <= fast %.4f, want slow higher", ipcS, ipcF)
+	}
+	// Runtime barely improves on the fast core (memory-bound).
+	tF := float64(cF) / fast.CyclesPerSec
+	tS := float64(cS) / slow.CyclesPerSec
+	if r := tS / tF; r > 1.25 {
+		t.Errorf("memory-bound time ratio = %.3f, want close to 1 (< 1.25)", r)
+	}
+}
+
+func TestIPCGapDrivesAlgorithm2Signal(t *testing.T) {
+	// The IPC gap between core types must be large for memory-bound code
+	// and tiny for compute-bound code — that is the signal δ thresholds.
+	fast, slow := coreParams(t)
+	cImg := buildImage(t, computeProgram(1000))
+	mImg := buildImage(t, memoryProgram(1000))
+	ci, cc := run(t, cImg, fast, 3)
+	si, sc := run(t, cImg, slow, 3)
+	gapCompute := math.Abs(perfcnt.IPC(si, sc) - perfcnt.IPC(ci, cc))
+	ci, cc = run(t, mImg, fast, 3)
+	si, sc = run(t, mImg, slow, 3)
+	gapMemory := perfcnt.IPC(si, sc) - perfcnt.IPC(ci, cc)
+	if gapMemory <= 4*gapCompute {
+		t.Errorf("memory IPC gap %.4f not clearly above compute gap %.4f", gapMemory, gapCompute)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := buildImage(t, memoryProgram(500))
+	i1, c1 := run(t, img, fast, 42)
+	i2, c2 := run(t, img, fast, 42)
+	if i1 != i2 || c1 != c2 {
+		t.Errorf("same seed differs: %d/%d vs %d/%d", i1, c1, i2, c2)
+	}
+	i3, _ := run(t, img, fast, 43)
+	if i3 == i1 {
+		t.Log("different seeds produced identical instruction counts (possible but unlikely)")
+	}
+}
+
+func TestLoopTripCountMean(t *testing.T) {
+	fast, _ := coreParams(t)
+	const trips = 50
+	b := prog.NewBuilder("trips")
+	b.Proc("main").Loop(trips, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{IntALU: 10})
+	}).Ret()
+	img := buildImage(t, b.MustBuild())
+
+	// Body block has 10 IntALU + 1 branch = 11 instructions; ret adds 1.
+	// Mean iterations over many runs must approximate the trip count.
+	cm := DefaultCostModel()
+	total := 0.0
+	const runs = 300
+	for s := 0; s < runs; s++ {
+		p := NewProcess(1, img, &cm, uint64(s)+1, nil)
+		p.RunIsolated(fast, 0, 4096, 0)
+		iters := (float64(p.Counters.Instructions) - 1) / 11
+		total += iters
+	}
+	meanIters := total / runs
+	if math.Abs(meanIters-trips) > trips*0.15 {
+		t.Errorf("mean iterations = %.1f, want about %d", meanIters, trips)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	fast, _ := coreParams(t)
+	b := prog.NewBuilder("calls")
+	callee := b.Proc("callee")
+	callee.Straight(prog.BlockMix{IntALU: 5}).Ret()
+	main := b.Proc("main")
+	b.SetEntry("main")
+	main.CallProc("callee").CallProc("callee").Straight(prog.BlockMix{IntALU: 3}).Ret()
+	img := buildImage(t, b.MustBuild())
+	i, _ := run(t, img, fast, 1)
+	// 2 calls + 2x(5+ret) + 3 + ret = 2 + 12 + 4 = 18.
+	if i != 18 {
+		t.Errorf("instructions = %d, want 18", i)
+	}
+}
+
+func TestStepAfterNotExited(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := buildImage(t, computeProgram(5))
+	cm := DefaultCostModel()
+	p := NewProcess(1, img, &cm, 1, nil)
+	for i := 0; i < 10000 && !p.Exited(); i++ {
+		r := p.Step(fast, 0, 4096)
+		if r.Cycles <= 0 {
+			t.Fatal("step consumed no cycles")
+		}
+	}
+	if !p.Exited() {
+		t.Fatal("small program did not exit in 10000 steps")
+	}
+}
+
+// recordingHook captures mark events.
+type recordingHook struct {
+	marks []int
+	exits int
+	mask  uint64
+}
+
+func (h *recordingHook) OnMark(p *Process, markID, coreID int) MarkAction {
+	h.marks = append(h.marks, markID)
+	return MarkAction{Mask: h.mask}
+}
+func (h *recordingHook) OnExit(p *Process) { h.exits++ }
+
+// instrumentedImage builds a two-phase program with marks.
+func instrumentedImage(t *testing.T) *Image {
+	t.Helper()
+	b := prog.NewBuilder("phased")
+	main := b.Proc("main")
+	main.Loop(20, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{IntALU: 30})
+	})
+	main.Loop(20, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{Load: 20, WorkingSetKB: 128 * 1024, Locality: 0.3})
+	})
+	main.Ret()
+	p := b.MustBuild()
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cfg.BuildCallGraph(p, graphs)
+	ty := &phase.Typing{K: 2, Types: map[phase.BlockKey]phase.Type{}}
+	for pi, g := range graphs {
+		for _, blk := range g.Blocks {
+			if blk.Kind != cfg.KindNormal || blk.NumInstrs() < 10 {
+				continue
+			}
+			if blk.Mix().MemOps() > 0 {
+				ty.Types[phase.BlockKey{Proc: pi, Block: blk.ID}] = 1
+			} else {
+				ty.Types[phase.BlockKey{Proc: pi, Block: blk.ID}] = 0
+			}
+		}
+	}
+	sum := summarize.SummarizeLoops(p, graphs, cg, ty, summarize.DefaultWeights())
+	plan, err := transition.ComputePlan(p, graphs, cg, ty, sum,
+		transition.Params{Technique: transition.Loop, MinSize: 10, PropagateThroughUntyped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := instrument.ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := NewImage(bin.Prog, bin, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NumMarks() == 0 {
+		t.Fatal("fixture produced no marks")
+	}
+	return img
+}
+
+func TestMarksInvokeHook(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := instrumentedImage(t)
+	cm := DefaultCostModel()
+	hook := &recordingHook{}
+	p := NewProcess(1, img, &cm, 5, hook)
+	p.RunIsolated(fast, 0, 4096, 0)
+	if len(hook.marks) == 0 {
+		t.Fatal("hook never invoked")
+	}
+	if hook.exits != 1 {
+		t.Errorf("exit hook fired %d times, want 1", hook.exits)
+	}
+	if p.MarksExecuted != uint64(len(hook.marks)) {
+		t.Errorf("MarksExecuted = %d, hook saw %d", p.MarksExecuted, len(hook.marks))
+	}
+	for _, id := range hook.marks {
+		if id < 0 || id >= img.NumMarks() {
+			t.Errorf("invalid mark ID %d", id)
+		}
+	}
+}
+
+func TestMarkRequestsPropagate(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := instrumentedImage(t)
+	cm := DefaultCostModel()
+	hook := &recordingHook{mask: 0b10}
+	p := NewProcess(1, img, &cm, 5, hook)
+	sawMask := false
+	for !p.Exited() {
+		r := p.Step(fast, 0, 4096)
+		if r.WantMask == 0b10 {
+			sawMask = true
+		}
+	}
+	if !sawMask {
+		t.Error("mark mask request never surfaced in StepResult")
+	}
+}
+
+func TestMarkCostCharged(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := instrumentedImage(t)
+	cm := DefaultCostModel()
+	// Same program, no hook: marks still cost cycles and instructions.
+	p := NewProcess(1, img, &cm, 5, nil)
+	p.RunIsolated(fast, 0, 4096, 0)
+	if p.MarksExecuted == 0 {
+		t.Fatal("no marks executed")
+	}
+	if p.Counters.Instructions < p.MarksExecuted*uint64(cm.MarkInstrs) {
+		t.Error("mark instructions not reflected in counters")
+	}
+}
+
+func TestCacheShareAffectsCycles(t *testing.T) {
+	fast, _ := coreParams(t)
+	img := buildImage(t, memoryProgram(300))
+	cm := DefaultCostModel()
+	pFull := NewProcess(1, img, &cm, 9, nil)
+	pFull.RunIsolated(fast, 0, 4096, 0)
+	pHalf := NewProcess(2, img, &cm, 9, nil)
+	pHalf.RunIsolated(fast, 0, 2048, 0)
+	if pHalf.Counters.Cycles <= pFull.Counters.Cycles {
+		t.Errorf("halved cache share did not increase cycles: %d vs %d",
+			pHalf.Counters.Cycles, pFull.Counters.Cycles)
+	}
+}
+
+func TestSyscallCost(t *testing.T) {
+	fast, _ := coreParams(t)
+	b := prog.NewBuilder("sys")
+	b.Proc("main").Straight(prog.BlockMix{IntALU: 1}).Syscall().Ret()
+	img := buildImage(t, b.MustBuild())
+	cm := DefaultCostModel()
+	p := NewProcess(1, img, &cm, 1, nil)
+	p.RunIsolated(fast, 0, 4096, 0)
+	if p.Counters.Cycles < uint64(cm.SyscallCycles) {
+		t.Errorf("cycles %d do not include syscall cost %g", p.Counters.Cycles, cm.SyscallCycles)
+	}
+}
+
+func TestNewImageRejectsForeignBinary(t *testing.T) {
+	p1 := computeProgram(5)
+	p2 := computeProgram(5)
+	bin := &instrument.Binary{Prog: p2}
+	if _, err := NewImage(p1, bin, DefaultCostModel()); err == nil {
+		t.Error("NewImage accepted a binary wrapping a different program")
+	}
+}
+
+func TestNewImageRejectsInvalidProgram(t *testing.T) {
+	bad := &prog.Program{Name: "bad", Procs: []*prog.Procedure{{
+		Name:   "main",
+		Instrs: []isa.Instruction{{Op: isa.IntALU}},
+	}}}
+	if _, err := NewImage(bad, nil, DefaultCostModel()); err == nil {
+		t.Error("NewImage accepted invalid program")
+	}
+}
+
+func TestRunIsolatedBounded(t *testing.T) {
+	fast, _ := coreParams(t)
+	// Infinite loop: branch back with probability 1.
+	p := &prog.Program{Name: "inf", Procs: []*prog.Procedure{{
+		Name: "main",
+		Instrs: []isa.Instruction{
+			{Op: isa.IntALU},
+			{Op: isa.Branch, Target: 0, TakenProb: 1},
+			{Op: isa.Ret},
+		},
+	}}}
+	img := buildImage(t, p)
+	cm := DefaultCostModel()
+	proc := NewProcess(1, img, &cm, 1, nil)
+	cycles := proc.RunIsolated(fast, 0, 4096, 10000)
+	if proc.Exited() {
+		t.Error("infinite loop exited")
+	}
+	if cycles < 10000 {
+		t.Errorf("bounded run stopped at %d cycles, want >= 10000", cycles)
+	}
+}

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"fmt"
+
+	"phasetune/internal/cfg"
+	"phasetune/internal/instrument"
+	"phasetune/internal/isa"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/reuse"
+)
+
+// termKind classifies how a block transfers control.
+type termKind uint8
+
+const (
+	termFall termKind = iota // unconditional fallthrough (or jump)
+	termBranch
+	termCall
+	termRet
+)
+
+// blockInfo is the interpreter's precomputed view of one basic block.
+type blockInfo struct {
+	// baseCycles is the core-type-independent pipeline cost of the block's
+	// instructions (per-class CPI summed), excluding memory stalls.
+	baseCycles float64
+	// instrs is the retired-instruction count (phase marks excluded; they
+	// are charged via CostModel.MarkInstrs).
+	instrs int64
+	// l1MissRefs is the expected number of references per execution that
+	// miss the private L1 and reach the shared cache.
+	l1MissRefs float64
+	// profile is the block's aggregated reuse profile.
+	profile reuse.Profile
+	// markIDs lists phase marks executed at the top of this block, in order.
+	markIDs []int32
+	// syscall marks syscall special nodes (extra fixed cost).
+	syscall bool
+
+	kind      termKind
+	takenProb float64
+	tripCount int32 // >0: counted loop back edge (taken tripCount-1 times)
+	taken     int32 // block ID of taken successor
+	fall      int32 // block ID of fallthrough successor (-1 none: ret/exit)
+	callee    int32 // procedure index for termCall
+}
+
+// Image is an executable program image: the (optionally instrumented)
+// program plus everything the interpreter precomputes. Images are immutable
+// after construction and shared by all processes executing the same binary.
+type Image struct {
+	// Name is the program name.
+	Name string
+	// Prog is the executed program.
+	Prog *prog.Program
+	// Marks is the mark table (empty for uninstrumented images).
+	Marks []instrument.Mark
+	// Graphs are the CFGs of Prog.
+	Graphs []*cfg.Graph
+
+	blocks [][]blockInfo
+	entry  int32
+}
+
+// NewImage precomputes an image for execution. bin may be nil to execute an
+// uninstrumented program; otherwise bin.Prog must equal p.
+func NewImage(p *prog.Program, bin *instrument.Binary, cm CostModel) (*Image, error) {
+	if bin != nil && bin.Prog != p {
+		return nil, fmt.Errorf("exec: binary does not wrap the given program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{
+		Name:   p.Name,
+		Prog:   p,
+		Graphs: graphs,
+		blocks: make([][]blockInfo, len(graphs)),
+		entry:  int32(p.Entry),
+	}
+	if bin != nil {
+		img.Marks = bin.Marks
+	}
+	for pi, g := range graphs {
+		infos := make([]blockInfo, len(g.Blocks))
+		for bi, b := range g.Blocks {
+			info, err := summarizeBlock(b, g, cm)
+			if err != nil {
+				return nil, fmt.Errorf("exec: %s/%s block %d: %w", p.Name, g.ProcName, bi, err)
+			}
+			infos[bi] = info
+		}
+		img.blocks[pi] = infos
+	}
+	return img, nil
+}
+
+// summarizeBlock precomputes the interpreter view of one block.
+func summarizeBlock(b *cfg.Block, g *cfg.Graph, cm CostModel) (blockInfo, error) {
+	info := blockInfo{fall: -1, taken: -1, callee: -1}
+	var memRefs int
+	for _, in := range b.Instrs {
+		if in.Op == isa.PhaseMark {
+			info.markIDs = append(info.markIDs, int32(in.MarkID))
+			continue
+		}
+		info.baseCycles += cm.CPI[in.Op]
+		info.instrs++
+		if in.Op.IsMemory() {
+			p := reuse.Profile{WorkingSetKB: in.Mem.WorkingSetKB, Locality: in.Mem.Locality}
+			info.profile = reuse.Combine(info.profile, memRefs, p, 1)
+			memRefs++
+		}
+		if in.Op == isa.Syscall {
+			info.syscall = true
+		}
+	}
+	info.l1MissRefs = float64(memRefs) * info.profile.L1MissFraction()
+
+	last := b.Instrs[len(b.Instrs)-1]
+	switch last.Op {
+	case isa.Branch:
+		info.kind = termBranch
+		info.takenProb = last.TakenProb
+		info.tripCount = last.TripCount
+		info.taken = int32(g.BlockOf(last.Target))
+		if fall, ok := fallBlock(g, b); ok {
+			info.fall = int32(fall)
+		} else {
+			return info, fmt.Errorf("branch block has no fallthrough")
+		}
+	case isa.Jump:
+		info.kind = termFall
+		info.fall = int32(g.BlockOf(last.Target))
+	case isa.Call:
+		info.kind = termCall
+		info.callee = int32(last.Target)
+		if fall, ok := fallBlock(g, b); ok {
+			info.fall = int32(fall)
+		} else {
+			return info, fmt.Errorf("call block has no return-to block")
+		}
+	case isa.Ret:
+		info.kind = termRet
+	default:
+		info.kind = termFall
+		if fall, ok := fallBlock(g, b); ok {
+			info.fall = int32(fall)
+		} else {
+			return info, fmt.Errorf("block falls off procedure end")
+		}
+	}
+	return info, nil
+}
+
+// fallBlock returns the block starting at b.End.
+func fallBlock(g *cfg.Graph, b *cfg.Block) (int, bool) {
+	lastBlock := g.Blocks[len(g.Blocks)-1]
+	if b.End > lastBlock.Start {
+		return 0, false
+	}
+	return g.BlockOf(b.End), true
+}
+
+// MarkType returns the phase type of a mark ID.
+func (img *Image) MarkType(id int) phase.Type {
+	return img.Marks[id].Type
+}
+
+// NumMarks returns the image's mark count.
+func (img *Image) NumMarks() int { return len(img.Marks) }
+
+// StaticInstrs returns the static instruction count (diagnostics).
+func (img *Image) StaticInstrs() int { return img.Prog.NumInstrs() }

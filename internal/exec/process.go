@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"phasetune/internal/perfcnt"
+	"phasetune/internal/rng"
+)
+
+// MarkAction is what the tuning runtime asks for at a phase mark.
+type MarkAction struct {
+	// Mask, when non-zero, is the affinity mask the process requests
+	// (the simulated sched_setaffinity call).
+	Mask uint64
+}
+
+// MarkHook receives phase-mark events. The kernel installs the per-process
+// tuning runtime here; overhead-measurement modes install cheaper hooks.
+type MarkHook interface {
+	// OnMark fires when the process executes the phase mark markID on core
+	// coreID. Counter state is readable through p.Counters.
+	OnMark(p *Process, markID int, coreID int) MarkAction
+	// OnExit fires when the process terminates, so held resources (counter
+	// event sets) can be released.
+	OnExit(p *Process)
+}
+
+// QuantumHook is an optional extension of MarkHook: the kernel invokes it at
+// the end of every scheduling quantum. The tuning runtime uses it to bound
+// monitoring windows — a long code section between two phase marks contains
+// many representative sub-sections, so a sample can be closed (and the next
+// core type probed) without waiting for the next mark. This is the "simple
+// feedback mechanism" extension the paper sketches in §VI-B.
+type QuantumHook interface {
+	MarkHook
+	// OnQuantum fires after a scheduling quantum on core coreID; a non-zero
+	// returned mask requests an affinity change, like a mark would.
+	OnQuantum(p *Process, coreID int) MarkAction
+}
+
+// frame is a call-stack entry: where to resume in the caller.
+type frame struct {
+	proc, block int32
+}
+
+// StepResult reports one basic-block execution.
+type StepResult struct {
+	// Cycles consumed by the block (including mark payloads).
+	Cycles int64
+	// Exited reports program termination.
+	Exited bool
+	// WantMask, when non-zero, is an affinity-change request issued by a
+	// phase mark in this block.
+	WantMask uint64
+}
+
+// Process is one executing instance of an image.
+type Process struct {
+	// PID is the kernel-assigned process ID.
+	PID int
+	// Img is the executed image (shared, immutable).
+	Img *Image
+	// Counters is the virtualized performance-counter state.
+	Counters perfcnt.Counters
+	// Hook receives phase-mark events; nil disables mark processing beyond
+	// cost accounting.
+	Hook MarkHook
+
+	cm   *CostModel
+	rand *rng.Source
+
+	curProc, curBlock int32
+	stack             []frame
+	exited            bool
+	// loopCounts holds per-block counted-branch progress, allocated lazily
+	// per procedure.
+	loopCounts [][]int32
+
+	// MarksExecuted counts dynamic phase-mark executions (diagnostics and
+	// the time-overhead experiment).
+	MarksExecuted uint64
+}
+
+// NewProcess creates a process at the image entry point. The seed drives
+// branch outcomes, making every execution deterministic.
+func NewProcess(pid int, img *Image, cm *CostModel, seed uint64, hook MarkHook) *Process {
+	return &Process{
+		PID:      pid,
+		Img:      img,
+		Hook:     hook,
+		cm:       cm,
+		rand:     rng.New(seed),
+		curProc:  img.entry,
+		curBlock: 0,
+		stack:    make([]frame, 0, 64),
+	}
+}
+
+// Exited reports whether the program has terminated.
+func (p *Process) Exited() bool { return p.exited }
+
+// Step executes the current basic block on a core with the given parameters
+// and effective cache share, advances control flow, and returns the cost.
+// Step must not be called after the process has exited.
+func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult {
+	info := &p.Img.blocks[p.curProc][p.curBlock]
+	var res StepResult
+
+	// Phase marks run first: they sit at the top of the block.
+	if len(info.markIDs) > 0 {
+		for _, mid := range info.markIDs {
+			p.Counters.Add(uint64(p.cm.MarkInstrs), uint64(p.cm.MarkCycles))
+			res.Cycles += p.cm.MarkCycles
+			p.MarksExecuted++
+			if p.Hook != nil {
+				act := p.Hook.OnMark(p, int(mid), coreID)
+				if act.Mask != 0 {
+					res.WantMask = act.Mask
+				}
+			}
+		}
+	}
+
+	// Block body cost.
+	cycles := info.baseCycles
+	if info.l1MissRefs > 0 {
+		miss := info.profile.MissRatio(shareKB)
+		cycles += info.l1MissRefs * (core.L2HitCycles + miss*core.MemCycles)
+	}
+	if info.syscall {
+		cycles += p.cm.SyscallCycles
+	}
+	ic := int64(cycles)
+	if ic < 1 && info.instrs > 0 {
+		ic = 1
+	}
+	p.Counters.Add(uint64(info.instrs), uint64(ic))
+	res.Cycles += ic
+
+	// Control flow.
+	switch info.kind {
+	case termFall:
+		p.curBlock = info.fall
+	case termBranch:
+		if info.tripCount > 0 {
+			// Counted loop: taken tripCount-1 consecutive times, then fall
+			// through once; the counter then resets for re-entry.
+			c := p.loopCounter()
+			*c++
+			if *c < info.tripCount {
+				p.curBlock = info.taken
+			} else {
+				*c = 0
+				p.curBlock = info.fall
+			}
+		} else if p.rand.Float64() < info.takenProb {
+			p.curBlock = info.taken
+		} else {
+			p.curBlock = info.fall
+		}
+	case termCall:
+		p.stack = append(p.stack, frame{proc: p.curProc, block: info.fall})
+		p.curProc = info.callee
+		p.curBlock = 0
+	case termRet:
+		if len(p.stack) == 0 {
+			p.exited = true
+			res.Exited = true
+			if p.Hook != nil {
+				p.Hook.OnExit(p)
+			}
+			return res
+		}
+		top := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		p.curProc = top.proc
+		p.curBlock = top.block
+	}
+	return res
+}
+
+// loopCounter returns the counted-branch counter cell for the current block.
+func (p *Process) loopCounter() *int32 {
+	if p.loopCounts == nil {
+		p.loopCounts = make([][]int32, len(p.Img.blocks))
+	}
+	if p.loopCounts[p.curProc] == nil {
+		p.loopCounts[p.curProc] = make([]int32, len(p.Img.blocks[p.curProc]))
+	}
+	return &p.loopCounts[p.curProc][p.curBlock]
+}
+
+// RunIsolated executes the process to completion on a single core with a
+// fixed cache share, returning total cycles. It is used for isolation
+// timings (fairness metrics need per-process isolation runtimes) and tests.
+// maxCycles bounds runaway programs (0 means no bound).
+func (p *Process) RunIsolated(core *CoreParams, coreID int, shareKB float64, maxCycles int64) (cycles int64) {
+	for !p.exited {
+		r := p.Step(core, coreID, shareKB)
+		cycles += r.Cycles
+		if maxCycles > 0 && cycles >= maxCycles {
+			break
+		}
+	}
+	return cycles
+}

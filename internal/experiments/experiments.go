@@ -1,0 +1,488 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§IV), plus the ablations called out in DESIGN.md.
+// Each driver is a pure function of its Config and returns typed rows; the
+// cmd/experiments binary renders them as paper-style tables and the root
+// bench harness replays them under testing.B.
+package experiments
+
+import (
+	"fmt"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
+	"phasetune/internal/phase"
+	"phasetune/internal/sim"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+// Config holds the shared experiment environment.
+type Config struct {
+	// Machine is the platform (defaults to the paper's quad AMP).
+	Machine *amp.Machine
+	// Cost is the timing model.
+	Cost exec.CostModel
+	// Sched is the scheduler configuration.
+	Sched osched.Config
+	// Suite is the benchmark suite.
+	Suite []*workload.Benchmark
+	// Slots is the workload size (paper: 18-84).
+	Slots int
+	// QueueLen is the per-slot queue length.
+	QueueLen int
+	// DurationSec is the workload horizon (Table 2: 800 s; Figs. 6-7
+	// measure the first 400 s).
+	DurationSec float64
+	// Seeds are the workload seeds; results aggregate over them.
+	Seeds []uint64
+	// Typing configures static block typing.
+	Typing phase.Options
+	// Tuning is the runtime configuration (δ etc.).
+	Tuning tuning.Config
+}
+
+// Default returns the configuration used throughout EXPERIMENTS.md.
+func Default() (Config, error) {
+	machine := amp.Quad2Fast2Slow()
+	cost := exec.DefaultCostModel()
+	suite, err := workload.Suite(cost, machine)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Machine:     machine,
+		Cost:        cost,
+		Sched:       osched.DefaultConfig(),
+		Suite:       suite,
+		Slots:       18,
+		QueueLen:    256,
+		DurationSec: 800,
+		Seeds:       []uint64{5, 42, 99},
+		Typing:      phase.Options{K: 2, MinBlockInstrs: 5},
+		Tuning:      tuning.DefaultConfig(),
+	}, nil
+}
+
+// Scale shrinks the workload dimensions for quick runs (benchmarks use it
+// so `go test -bench` stays fast). factor 1 keeps defaults.
+func (c Config) Scale(slots int, durationSec float64, seeds []uint64) Config {
+	c.Slots = slots
+	c.DurationSec = durationSec
+	c.Seeds = seeds
+	return c
+}
+
+// TechniqueGrid returns the paper's 18 technique variants (Table 2, Figs.
+// 3-4): BB[10/15/20 x lookahead 0-3], Int[30/45/60], Loop[30/45/60].
+func TechniqueGrid() []transition.Params {
+	var grid []transition.Params
+	for _, min := range []int{10, 15, 20} {
+		for la := 0; la <= 3; la++ {
+			grid = append(grid, transition.Params{
+				Technique: transition.BasicBlock, MinSize: min, Lookahead: la,
+				PropagateThroughUntyped: true,
+			})
+		}
+	}
+	for _, min := range []int{30, 45, 60} {
+		grid = append(grid, transition.Params{
+			Technique: transition.Interval, MinSize: min, PropagateThroughUntyped: true,
+		})
+	}
+	for _, min := range []int{30, 45, 60} {
+		grid = append(grid, transition.Params{
+			Technique: transition.Loop, MinSize: min, PropagateThroughUntyped: true,
+		})
+	}
+	return grid
+}
+
+// BestParams is the paper's best variant: Loop[45].
+func BestParams() transition.Params {
+	return transition.Params{Technique: transition.Loop, MinSize: 45, PropagateThroughUntyped: true}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — space overhead box plots per technique variant.
+
+// SpaceRow is one box in Fig. 3.
+type SpaceRow struct {
+	// Variant is the paper-style name (BB[10,0], Loop[45], ...).
+	Variant string
+	// Overheads holds the per-benchmark fractional size increases.
+	Overheads []float64
+	// Box summarizes them.
+	Box metrics.Box
+	// MeanMarks is the mean static mark count per benchmark (paper: 20.24
+	// for Loop[45]).
+	MeanMarks float64
+}
+
+// Fig3SpaceOverhead measures instrumented-binary growth for every variant.
+func Fig3SpaceOverhead(cfg Config) ([]SpaceRow, error) {
+	var rows []SpaceRow
+	for _, params := range TechniqueGrid() {
+		row := SpaceRow{Variant: params.Name()}
+		marks := 0
+		for _, b := range cfg.Suite {
+			_, stats, err := sim.PrepareImage(b.Prog, params, cfg.Typing, 0, 1, cfg.Cost)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %s: %w", params.Name(), b.Name(), err)
+			}
+			row.Overheads = append(row.Overheads, stats.SpaceOverhead)
+			marks += stats.Marks
+		}
+		row.Box = metrics.BoxStats(row.Overheads)
+		row.MeanMarks = float64(marks) / float64(len(cfg.Suite))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — time overhead (all-cores mode) per technique variant.
+
+// TimeOverheadRow is one bar of Fig. 4.
+type TimeOverheadRow struct {
+	Variant string
+	// OverheadPct is the throughput loss of the instrumented all-cores run
+	// versus the unmodified baseline, in percent (paper: as low as 0.14%).
+	OverheadPct float64
+	// MarksExecuted counts dynamic mark executions across the run.
+	MarksExecuted uint64
+}
+
+// Fig4TimeOverhead compares baseline and all-cores instrumented runs on the
+// same workload (paper: workload size 84).
+func Fig4TimeOverhead(cfg Config, variants []transition.Params) ([]TimeOverheadRow, error) {
+	if variants == nil {
+		variants = TechniqueGrid()
+	}
+	var rows []TimeOverheadRow
+	for _, params := range variants {
+		var overheads []float64
+		var marks uint64
+		for _, seed := range cfg.Seeds {
+			w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
+			base, err := sim.Run(sim.RunConfig{
+				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			over, err := sim.Run(sim.RunConfig{
+				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Overhead,
+				Params: params, TypingOpts: cfg.Typing, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			loss := -metrics.PercentIncrease(float64(base.TotalInstructions), float64(over.TotalInstructions))
+			overheads = append(overheads, loss)
+			for _, t := range over.Tasks {
+				marks += t.MarksExecuted
+			}
+		}
+		rows = append(rows, TimeOverheadRow{
+			Variant:       params.Name(),
+			OverheadPct:   metrics.Mean(overheads),
+			MarksExecuted: marks,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 + Fig. 5 — switches per benchmark and cycles per switch.
+
+// SwitchRow is one row of Table 1 / one bar of Fig. 5.
+type SwitchRow struct {
+	// Benchmark is the suite member name.
+	Benchmark string
+	// Switches is the measured core-switch count in a tuned isolation run.
+	Switches int
+	// RuntimeSec is the isolation runtime.
+	RuntimeSec float64
+	// PaperSwitches and PaperRuntimeSec echo the paper's Table 1 (switch
+	// counts scale with workload.ScaleDivisor).
+	PaperSwitches   int
+	PaperRuntimeSec float64
+	// CyclesPerSwitch is total cycles over switches (Fig. 5, log scale);
+	// 0 when the benchmark never switches.
+	CyclesPerSwitch float64
+}
+
+// Table1Switches runs every benchmark alone under the best technique.
+func Table1Switches(cfg Config) ([]SwitchRow, error) {
+	iso, err := sim.Isolation(cfg.Suite, cfg.Machine, cfg.Cost, cfg.Sched,
+		sim.Tuned, BestParams(), cfg.Tuning, cfg.Typing, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SwitchRow
+	for _, b := range cfg.Suite {
+		r := iso[b.Name()]
+		row := SwitchRow{
+			Benchmark:       b.Name(),
+			Switches:        r.Migrations,
+			RuntimeSec:      r.RuntimeSec,
+			PaperSwitches:   b.Spec.PaperSwitches,
+			PaperRuntimeSec: b.Spec.PaperRuntimeSec,
+		}
+		if r.Migrations > 0 {
+			row.CyclesPerSwitch = float64(r.Cycles) / float64(r.Migrations)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — throughput vs. IPC threshold δ.
+
+// ThresholdRow is one point of Fig. 6.
+type ThresholdRow struct {
+	// Delta is the IPC threshold.
+	Delta float64
+	// ImprovementPct is throughput improvement over baseline in the first
+	// 400 s, in percent.
+	ImprovementPct float64
+}
+
+// Fig6Thresholds sweeps δ with the basic-block strategy (paper: BB, min
+// block size 15, lookahead 0).
+func Fig6Thresholds(cfg Config, deltas []float64) ([]ThresholdRow, error) {
+	if deltas == nil {
+		deltas = []float64{0, 0.02, 0.04, 0.06, 0.1, 0.2, 0.4}
+	}
+	params := transition.Params{Technique: transition.BasicBlock, MinSize: 15, PropagateThroughUntyped: true}
+	var rows []ThresholdRow
+	for _, d := range deltas {
+		tcfg := cfg.Tuning
+		tcfg.Delta = d
+		imp, err := throughputImprovement(cfg, params, tcfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ThresholdRow{Delta: d, ImprovementPct: imp})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — throughput vs. injected clustering error.
+
+// ErrorRow is one point of Fig. 7.
+type ErrorRow struct {
+	// ErrorPct is the injected clustering error percentage.
+	ErrorPct float64
+	// ImprovementPct is throughput improvement over baseline.
+	ImprovementPct float64
+}
+
+// Fig7ClusteringError sweeps injected typing error (paper: 0-30%, BB[15,0]).
+func Fig7ClusteringError(cfg Config, errors []float64) ([]ErrorRow, error) {
+	if errors == nil {
+		errors = []float64{0, 0.1, 0.2, 0.3}
+	}
+	params := transition.Params{Technique: transition.BasicBlock, MinSize: 15, PropagateThroughUntyped: true}
+	var rows []ErrorRow
+	for _, e := range errors {
+		imp, err := throughputImprovement(cfg, params, cfg.Tuning, e)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ErrorRow{ErrorPct: e * 100, ImprovementPct: imp})
+	}
+	return rows, nil
+}
+
+// throughputImprovement measures tuned-vs-baseline committed-instruction
+// throughput over the first min(400, duration) seconds, averaged over seeds.
+func throughputImprovement(cfg Config, params transition.Params, tcfg tuning.Config, errFrac float64) (float64, error) {
+	window := cfg.DurationSec
+	if window > 400 {
+		window = 400
+	}
+	var imps []float64
+	for _, seed := range cfg.Seeds {
+		w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
+		base, err := sim.Run(sim.RunConfig{
+			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+			Workload: w, DurationSec: window, Mode: sim.Baseline, Seed: seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		tuned, err := sim.Run(sim.RunConfig{
+			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+			Workload: w, DurationSec: window, Mode: sim.Tuned,
+			Params: params, Tuning: tcfg, TypingOpts: cfg.Typing,
+			TypingError: errFrac, Seed: seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		bt := metrics.ThroughputOver(base.Samples, 0, window)
+		tt := metrics.ThroughputOver(tuned.Samples, 0, window)
+		imps = append(imps, metrics.PercentIncrease(bt, tt))
+	}
+	return metrics.Mean(imps), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 + Fig. 8 — fairness and the speedup/fairness trade-off.
+
+// FairnessRow is one row of Table 2 (and one point of Fig. 8).
+type FairnessRow struct {
+	// Variant is the technique name.
+	Variant string
+	// MaxFlowPct, MaxStretchPct, AvgTimePct are percent decreases versus
+	// the stock scheduler (positive = improvement), averaged over seeds.
+	MaxFlowPct, MaxStretchPct, AvgTimePct float64
+	// MatchedAvgPct is the instance-matched average-time decrease: the two
+	// runs share workload queues, so a job is identified by (slot, queue
+	// position); the mean flow over jobs completed in *both* runs is
+	// compared. This removes the completion-composition bias that the raw
+	// average carries under finite windows (a run that additionally
+	// finishes long or late-arriving jobs is penalized by the raw metric).
+	MatchedAvgPct float64
+	// ThroughputPct is the throughput improvement (auxiliary).
+	ThroughputPct float64
+}
+
+// matchedAvgImprovement compares mean flow times over the job instances
+// completed in both runs. Compared runs share workload queues, so (slot,
+// per-slot spawn ordinal) identifies the same job in both.
+func matchedAvgImprovement(base, tuned []metrics.TaskStat) float64 {
+	type key struct{ slot, ordinal int }
+	collect := func(stats []metrics.TaskStat) map[key]float64 {
+		next := map[int]int{}
+		out := map[key]float64{}
+		for _, t := range stats {
+			k := key{t.Slot, next[t.Slot]}
+			next[t.Slot]++
+			if t.Completed() {
+				out[k] = t.FlowSec()
+			}
+		}
+		return out
+	}
+	b, tn := collect(base), collect(tuned)
+	var bSum, tSum float64
+	n := 0
+	for k, bf := range b {
+		tf, ok := tn[k]
+		if !ok {
+			continue
+		}
+		bSum += bf
+		tSum += tf
+		n++
+	}
+	if n == 0 || bSum == 0 {
+		return 0
+	}
+	return (bSum - tSum) / bSum * 100
+}
+
+// Table2Fairness measures the full variant grid against baseline over the
+// configured duration (paper: 800 s interval).
+func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, error) {
+	if variants == nil {
+		variants = TechniqueGrid()
+	}
+	isoSec, err := IsolationTimes(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type baseRes struct {
+		avg, maxFlow, maxStretch, tput float64
+		tasks                          []metrics.TaskStat
+	}
+	bases := map[uint64]baseRes{}
+	for _, seed := range cfg.Seeds {
+		w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
+		base, err := sim.Run(sim.RunConfig{
+			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+			Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms, err := metrics.MaxStretch(base.Tasks, isoSec)
+		if err != nil {
+			return nil, err
+		}
+		bases[seed] = baseRes{
+			avg:        metrics.AvgProcessTime(base.Tasks),
+			maxFlow:    metrics.MaxFlow(base.Tasks),
+			maxStretch: ms,
+			tput:       float64(base.TotalInstructions),
+			tasks:      base.Tasks,
+		}
+	}
+
+	var rows []FairnessRow
+	for _, params := range variants {
+		var mf, mstr, avg, matched, tp []float64
+		for _, seed := range cfg.Seeds {
+			w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
+			tuned, err := sim.Run(sim.RunConfig{
+				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
+				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Tuned,
+				Params: params, Tuning: cfg.Tuning, TypingOpts: cfg.Typing, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ms, err := metrics.MaxStretch(tuned.Tasks, isoSec)
+			if err != nil {
+				return nil, err
+			}
+			b := bases[seed]
+			mf = append(mf, metrics.PercentDecrease(b.maxFlow, metrics.MaxFlow(tuned.Tasks)))
+			mstr = append(mstr, metrics.PercentDecrease(b.maxStretch, ms))
+			avg = append(avg, metrics.PercentDecrease(b.avg, metrics.AvgProcessTime(tuned.Tasks)))
+			matched = append(matched, matchedAvgImprovement(b.tasks, tuned.Tasks))
+			tp = append(tp, metrics.PercentIncrease(b.tput, float64(tuned.TotalInstructions)))
+		}
+		rows = append(rows, FairnessRow{
+			Variant:       params.Name(),
+			MaxFlowPct:    metrics.Mean(mf),
+			MaxStretchPct: metrics.Mean(mstr),
+			AvgTimePct:    metrics.Mean(avg),
+			MatchedAvgPct: metrics.Mean(matched),
+			ThroughputPct: metrics.Mean(tp),
+		})
+	}
+	return rows, nil
+}
+
+// IsolationTimes returns per-benchmark baseline isolation runtimes (the t_j
+// of max-stretch).
+func IsolationTimes(cfg Config) (map[string]float64, error) {
+	iso, err := sim.Isolation(cfg.Suite, cfg.Machine, cfg.Cost, cfg.Sched,
+		sim.Baseline, transition.Params{}, tuning.Config{}, cfg.Typing, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(iso))
+	for n, r := range iso {
+		out[n] = r.RuntimeSec
+	}
+	return out, nil
+}
+
+// Fig8Tradeoff reuses Table 2 rows: x = max-stretch decrease, y = average
+// time decrease. It exists as its own entry point for symmetry with the
+// paper's figures.
+func Fig8Tradeoff(cfg Config, variants []transition.Params) ([]FairnessRow, error) {
+	return Table2Fairness(cfg, variants)
+}

@@ -1,0 +1,299 @@
+package instrument
+
+import (
+	"testing"
+
+	"phasetune/internal/cfg"
+	"phasetune/internal/isa"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/summarize"
+	"phasetune/internal/transition"
+)
+
+// fixture returns a two-phase program, its graphs, and a BB-technique plan.
+func fixture(t *testing.T, params transition.Params) (*prog.Program, []*cfg.Graph, *transition.Plan) {
+	t.Helper()
+	b := prog.NewBuilder("fix")
+	helper := b.Proc("helper")
+	helper.Straight(prog.BlockMix{Load: 12, Store: 4, WorkingSetKB: 32768, Locality: 0.3}).Ret()
+	main := b.Proc("main")
+	b.SetEntry("main")
+	main.Straight(prog.BlockMix{IntALU: 16})
+	main.Loop(40, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{IntALU: 30, IntMul: 10})
+	})
+	main.Loop(40, func(pb *prog.ProcBuilder) {
+		pb.Straight(prog.BlockMix{Load: 24, Store: 10, IntALU: 6, WorkingSetKB: 32768, Locality: 0.3})
+		pb.CallProc("helper")
+	})
+	main.Ret()
+	p := b.MustBuild()
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatalf("BuildAll: %v", err)
+	}
+	cg := cfg.BuildCallGraph(p, graphs)
+	ty := &phase.Typing{K: 2, Types: map[phase.BlockKey]phase.Type{}}
+	for pi, g := range graphs {
+		for _, blk := range g.Blocks {
+			if blk.Kind != cfg.KindNormal || blk.NumInstrs() < 5 {
+				continue
+			}
+			if blk.Mix().MemOps() > 0 {
+				ty.Types[phase.BlockKey{Proc: pi, Block: blk.ID}] = 1
+			} else {
+				ty.Types[phase.BlockKey{Proc: pi, Block: blk.ID}] = 0
+			}
+		}
+	}
+	sum := summarize.SummarizeLoops(p, graphs, cg, ty, summarize.DefaultWeights())
+	plan, err := transition.ComputePlan(p, graphs, cg, ty, sum, params)
+	if err != nil {
+		t.Fatalf("ComputePlan: %v", err)
+	}
+	return p, graphs, plan
+}
+
+func apply(t *testing.T, p *prog.Program, graphs []*cfg.Graph, plan *transition.Plan) *Binary {
+	t.Helper()
+	bin, err := ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return bin
+}
+
+func TestInstrumentedProgramValid(t *testing.T) {
+	for _, params := range []transition.Params{
+		{Technique: transition.BasicBlock, MinSize: 10, PropagateThroughUntyped: true},
+		{Technique: transition.BasicBlock, MinSize: 10, Lookahead: 2, PropagateThroughUntyped: true},
+		{Technique: transition.Interval, MinSize: 30, PropagateThroughUntyped: true},
+		{Technique: transition.Loop, MinSize: 30, PropagateThroughUntyped: true},
+	} {
+		p, graphs, plan := fixture(t, params)
+		bin := apply(t, p, graphs, plan)
+		if err := bin.Prog.Validate(); err != nil {
+			t.Errorf("%s: instrumented program invalid: %v", params.Name(), err)
+		}
+		if bin.NumMarks() != plan.NumMarks() {
+			t.Errorf("%s: %d marks inserted, plan has %d", params.Name(), bin.NumMarks(), plan.NumMarks())
+		}
+	}
+}
+
+func TestOriginalProgramUntouched(t *testing.T) {
+	p, graphs, plan := fixture(t, transition.Params{Technique: transition.BasicBlock, MinSize: 10, PropagateThroughUntyped: true})
+	before := p.NumInstrs()
+	apply(t, p, graphs, plan)
+	if p.NumInstrs() != before {
+		t.Error("Apply mutated the input program")
+	}
+	for _, pr := range p.Procs {
+		for _, in := range pr.Instrs {
+			if in.Op == isa.PhaseMark {
+				t.Fatal("phase mark leaked into original program")
+			}
+		}
+	}
+}
+
+func TestSpaceOverheadAccounting(t *testing.T) {
+	p, graphs, plan := fixture(t, transition.Params{Technique: transition.BasicBlock, MinSize: 10, PropagateThroughUntyped: true})
+	bin := apply(t, p, graphs, plan)
+	if bin.OrigBytes != p.SizeBytes() {
+		t.Errorf("OrigBytes = %d, want %d", bin.OrigBytes, p.SizeBytes())
+	}
+	if bin.NewBytes != bin.Prog.SizeBytes() {
+		t.Errorf("NewBytes = %d, want %d", bin.NewBytes, bin.Prog.SizeBytes())
+	}
+	// Every mark adds at most 78 bytes (paper §IV-B1).
+	added := bin.NewBytes - bin.OrigBytes
+	if added > bin.NumMarks()*(InlineMarkBytes+StubJumpBytes) {
+		t.Errorf("added %d bytes for %d marks, exceeds 78/mark", added, bin.NumMarks())
+	}
+	if bin.NumMarks() > 0 && added < bin.NumMarks()*InlineMarkBytes {
+		t.Errorf("added %d bytes for %d marks, below 73/mark", added, bin.NumMarks())
+	}
+	if bin.SpaceOverhead() <= 0 {
+		t.Error("space overhead not positive despite inserted marks")
+	}
+}
+
+func TestMarkTableConsistent(t *testing.T) {
+	p, graphs, plan := fixture(t, transition.Params{Technique: transition.BasicBlock, MinSize: 10, PropagateThroughUntyped: true})
+	bin := apply(t, p, graphs, plan)
+	found := map[int]int{}
+	for _, pr := range bin.Prog.Procs {
+		for _, in := range pr.Instrs {
+			if in.Op == isa.PhaseMark {
+				found[in.MarkID]++
+			}
+		}
+	}
+	if len(found) != len(bin.Marks) {
+		t.Fatalf("%d distinct mark IDs in code, table has %d", len(found), len(bin.Marks))
+	}
+	for id, n := range found {
+		if n != 1 {
+			t.Errorf("mark %d appears %d times", id, n)
+		}
+		if id < 0 || id >= len(bin.Marks) {
+			t.Errorf("mark ID %d outside table", id)
+		}
+	}
+	for i, m := range bin.Marks {
+		if m.ID != i {
+			t.Errorf("mark table entry %d has ID %d", i, m.ID)
+		}
+		if m.Type == phase.Untyped {
+			t.Errorf("mark %d has no type", i)
+		}
+	}
+}
+
+func TestInstrumentedCFGStillBuilds(t *testing.T) {
+	p, graphs, plan := fixture(t, transition.Params{Technique: transition.Loop, MinSize: 30, PropagateThroughUntyped: true})
+	bin := apply(t, p, graphs, plan)
+	newGraphs, err := cfg.BuildAll(bin.Prog)
+	if err != nil {
+		t.Fatalf("CFG of instrumented program: %v", err)
+	}
+	// Same number of procedures; each still has one entry.
+	if len(newGraphs) != len(graphs) {
+		t.Fatalf("instrumented program has %d procs, want %d", len(newGraphs), len(graphs))
+	}
+}
+
+func TestBranchTargetsRemappedPastInlineMarks(t *testing.T) {
+	// Hand-build: B0 branches to B2; B1 falls through to B2. Mark only the
+	// fallthrough edge B1->B2. The branch from B0 must skip the mark.
+	p := &prog.Program{
+		Name: "remap",
+		Procs: []*prog.Procedure{{
+			Name: "main",
+			Instrs: []isa.Instruction{
+				{Op: isa.Branch, Target: 3, TakenProb: 0.5}, // B0 -> B2(taken) or B1
+				{Op: isa.IntALU}, // B1
+				{Op: isa.IntALU}, //   falls to B2? no: next is 3
+				{Op: isa.Load},   // B2 (target)
+				{Op: isa.Ret},
+			},
+		}},
+	}
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs[0]
+	b2 := g.BlockOf(3)
+	b1 := g.BlockOf(1)
+	plan := &transition.Plan{
+		Params: transition.Params{Technique: transition.BasicBlock},
+		Sites: []transition.MarkSite{{
+			Proc: 0, From: b1, To: b2, Fallthrough: true, Type: 1,
+		}},
+		RegionTypes: map[phase.BlockKey]phase.Type{},
+	}
+	bin, err := ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := bin.Prog.Procs[0].Instrs
+	// Find the mark and the branch.
+	markIdx, branchIdx, loadIdx := -1, -1, -1
+	for i, in := range instrs {
+		switch {
+		case in.Op == isa.PhaseMark:
+			markIdx = i
+		case in.Op == isa.Branch:
+			branchIdx = i
+		case in.Op == isa.Load:
+			loadIdx = i
+		}
+	}
+	if markIdx == -1 || branchIdx == -1 || loadIdx == -1 {
+		t.Fatalf("missing instructions after rewrite: %v", instrs)
+	}
+	if markIdx != loadIdx-1 {
+		t.Errorf("mark at %d not immediately before load at %d", markIdx, loadIdx)
+	}
+	if instrs[branchIdx].Target != loadIdx {
+		t.Errorf("branch target = %d, want %d (skipping the mark)", instrs[branchIdx].Target, loadIdx)
+	}
+}
+
+func TestStubForTakenEdge(t *testing.T) {
+	// B0 ends with branch taken to B2; mark the taken edge. A stub must be
+	// appended and the branch retargeted to it.
+	p := &prog.Program{
+		Name: "stub",
+		Procs: []*prog.Procedure{{
+			Name: "main",
+			Instrs: []isa.Instruction{
+				{Op: isa.Branch, Target: 2, TakenProb: 0.5}, // B0
+				{Op: isa.IntALU}, // B1 (fallthrough)
+				{Op: isa.Load},   // B2 (taken target)
+				{Op: isa.Ret},
+			},
+		}},
+	}
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs[0]
+	plan := &transition.Plan{
+		Params: transition.Params{Technique: transition.BasicBlock},
+		Sites: []transition.MarkSite{{
+			Proc: 0, From: g.BlockOf(0), To: g.BlockOf(2), Fallthrough: false, Type: 1,
+		}},
+		RegionTypes: map[phase.BlockKey]phase.Type{},
+	}
+	bin, err := ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := bin.Prog.Procs[0].Instrs
+	// Expect: original 4 instructions + [PhaseMark, Jump] stub.
+	if len(instrs) != 6 {
+		t.Fatalf("got %d instructions, want 6: %v", len(instrs), instrs)
+	}
+	branch := instrs[0]
+	if branch.Op != isa.Branch {
+		t.Fatalf("first instr is %v, want branch", branch.Op)
+	}
+	stubStart := branch.Target
+	if instrs[stubStart].Op != isa.PhaseMark {
+		t.Errorf("branch targets %v, want phase mark stub", instrs[stubStart].Op)
+	}
+	jmp := instrs[stubStart+1]
+	if jmp.Op != isa.Jump {
+		t.Fatalf("stub not followed by jump: %v", jmp.Op)
+	}
+	if bin.Prog.Procs[0].Instrs[jmp.Target].Op != isa.Load {
+		t.Errorf("stub jump targets %v, want the load", instrs[jmp.Target].Op)
+	}
+	if jmp.SizeBytes() != StubJumpBytes {
+		t.Errorf("stub jump size = %d, want %d", jmp.SizeBytes(), StubJumpBytes)
+	}
+	// Stub mark flagged.
+	if !bin.Marks[0].Stub {
+		t.Error("stub mark not flagged as stub")
+	}
+}
+
+func TestEmptyPlanIsIdentity(t *testing.T) {
+	p, graphs, _ := fixture(t, transition.Params{Technique: transition.BasicBlock, MinSize: 10, PropagateThroughUntyped: true})
+	empty := &transition.Plan{Params: transition.Params{}, RegionTypes: map[phase.BlockKey]phase.Type{}}
+	bin, err := ApplyWithGraphs(p, empty, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.NumMarks() != 0 || bin.SpaceOverhead() != 0 {
+		t.Errorf("empty plan produced %d marks, overhead %g", bin.NumMarks(), bin.SpaceOverhead())
+	}
+	if bin.NewBytes != bin.OrigBytes {
+		t.Errorf("sizes differ: %d vs %d", bin.NewBytes, bin.OrigBytes)
+	}
+}

@@ -1,0 +1,116 @@
+package osched
+
+import (
+	"testing"
+
+	"phasetune/internal/exec"
+)
+
+// TestNoOverlappingBursts replays the regression that motivated arrival
+// events: a single process must never occupy two cores in overlapping
+// simulated intervals, even while its affinity ping-pongs.
+func TestNoOverlappingBursts(t *testing.T) {
+	k := newKernel(t)
+	img := markedImage(t, k)
+	hook := &pingPongHook{masks: []uint64{0b0001, 0b0100}}
+	p := exec.NewProcess(k.NextPID(), img, &k.Cost, 1, hook)
+	k.Spawn(p, "pingpong", -1, 0)
+
+	type burst struct{ start, end int64 }
+	var bursts []burst
+	k.TraceBurst = func(core int, task *Task, cycles, startPs, endPs int64) {
+		bursts = append(bursts, burst{startPs, endPs})
+	}
+	if err := k.RunUntilDone(1e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(bursts); i++ {
+		if bursts[i].start < bursts[i-1].end {
+			t.Fatalf("burst %d starts at %d before burst %d ends at %d",
+				i, bursts[i].start, i-1, bursts[i-1].end)
+		}
+	}
+	if len(bursts) < 100 {
+		t.Fatalf("only %d bursts traced", len(bursts))
+	}
+}
+
+// TestTimeConservation: a task's completion time equals the sum of its burst
+// durations plus queueing gaps; with a single task there are no gaps beyond
+// spawn, so wall time equals busy time.
+func TestTimeConservation(t *testing.T) {
+	k := newKernel(t)
+	task := spawnProg(t, k, computeProgram(2000), 1)
+	var busyPs int64
+	k.TraceBurst = func(core int, tk *Task, cycles, startPs, endPs int64) {
+		busyPs += endPs - startPs
+	}
+	if err := k.RunUntilDone(1e6); err != nil {
+		t.Fatal(err)
+	}
+	wall := task.CompletionPs - task.ArrivalPs
+	if wall != busyPs {
+		t.Errorf("wall %d != busy %d for a lone task", wall, busyPs)
+	}
+}
+
+// TestKernelInstructionConservation: the kernel's cumulative instruction
+// counter equals the sum of per-process counters.
+func TestKernelInstructionConservation(t *testing.T) {
+	k := newKernel(t)
+	var tasks []*Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, spawnProg(t, k, memoryProgram(200), uint64(i+1)))
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, task := range tasks {
+		sum += task.Proc.Counters.Instructions
+	}
+	if sum != k.TotalInstructions() {
+		t.Errorf("kernel total %d != task sum %d", k.TotalInstructions(), sum)
+	}
+}
+
+// TestAffinityAlwaysRespected: with tracing, every burst of an affinity-
+// restricted task must run on an allowed core.
+func TestAffinityAlwaysRespected(t *testing.T) {
+	k := newKernel(t)
+	img, err := exec.NewImage(computeProgram(3000), nil, k.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := exec.NewProcess(k.NextPID(), img, &k.Cost, 1, nil)
+	pinned := k.Spawn(p, "pinned", -1, 0b1010)
+	for i := 0; i < 5; i++ {
+		spawnProg(t, k, computeProgram(3000), uint64(i+10))
+	}
+	k.TraceBurst = func(core int, task *Task, cycles, startPs, endPs int64) {
+		if task == pinned && (0b1010&(1<<uint(core))) == 0 {
+			t.Fatalf("pinned task ran on disallowed core %d", core)
+		}
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitDuringMonitoring: a process that dies while its tuner holds an
+// event set must release it (failure-injection for the OnExit path).
+func TestCacheOccupancyBalanced(t *testing.T) {
+	// After a full run, every L2 group must be back to zero occupants.
+	k := newKernel(t)
+	for i := 0; i < 6; i++ {
+		spawnProg(t, k, memoryProgram(150), uint64(i+1))
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		if n := k.Cache.Occupants(g); n != 0 {
+			t.Errorf("L2 group %d still has %d occupants after drain", g, n)
+		}
+	}
+}

@@ -1,0 +1,561 @@
+// Package osched simulates the operating-system layer: per-core run queues,
+// fixed time slices, periodic load balancing, and the process-affinity API.
+//
+// The baseline scheduler mirrors what the paper compares against — the stock
+// Linux 2.6.22 O(1) scheduler (§IV-A1): strictly asymmetry-unaware, it
+// balances run-queue lengths across cores and otherwise leaves processes
+// where they are. Phase-based tuning runs *on top of* this scheduler, just
+// as in the paper: instrumented processes call the affinity API from their
+// phase marks, and the kernel honors affinity masks at enqueue, dispatch,
+// and balance time. Core switches cost ~1000 cycles (paper §IV-B3).
+//
+// The simulation is discrete-event: each core processes run bursts (up to
+// one time slice of basic-block steps), and balancing/sampling fire on their
+// own periodic events. Time is int64 picoseconds; every run is a
+// deterministic function of its inputs.
+package osched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/cache"
+	"phasetune/internal/exec"
+	"phasetune/internal/perfcnt"
+)
+
+// PsPerSec converts simulated seconds to picoseconds.
+const PsPerSec = 1e12
+
+// SecToPs converts seconds to picoseconds, saturating at half the int64
+// range so arithmetic on horizons cannot overflow.
+func SecToPs(s float64) int64 {
+	const maxPs = math.MaxInt64 / 2
+	ps := s * PsPerSec
+	if ps >= maxPs {
+		return maxPs
+	}
+	return int64(ps)
+}
+
+// PsToSec converts picoseconds to seconds.
+func PsToSec(ps int64) float64 { return float64(ps) / PsPerSec }
+
+// Config holds scheduler constants.
+type Config struct {
+	// TimesliceSec is the scheduling quantum (Linux O(1) default ~100 ms).
+	TimesliceSec float64
+	// BalanceIntervalSec is the period of the load balancer.
+	BalanceIntervalSec float64
+	// SampleIntervalSec is the period of throughput sampling.
+	SampleIntervalSec float64
+	// CoreSwitchCycles is charged to a process when it migrates between
+	// cores (the paper measures ~1000 cycles per switch, §IV-B3).
+	CoreSwitchCycles int64
+	// ContextSwitchCycles is charged when a core switches between tasks.
+	ContextSwitchCycles int64
+	// CounterSlots bounds concurrently active performance-counter event
+	// sets (0 = unlimited). PAPI virtualizes counters per thread — the
+	// kernel saves and restores counter state at context switches — so
+	// concurrent per-process event sets are effectively unbounded; the
+	// bounded mode exists for the counter-contention ablation.
+	CounterSlots int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+//
+// Switch costs are scaled: the paper measures ~1000 cycles per core switch
+// (§IV-B3) against code sections of ~10^10 cycles (Fig. 5). Under the
+// simulation's 1/20 time scale sections are 20x shorter, so preserving the
+// paper's amortization ratios requires scaling the switch micro-costs by
+// the same divisor: 1000/20 = 50 cycles per core switch. The switch-cost
+// experiment reports both the simulated and the descaled equivalent value.
+func DefaultConfig() Config {
+	return Config{
+		TimesliceSec:        0.1,
+		BalanceIntervalSec:  0.25,
+		SampleIntervalSec:   1.0,
+		CoreSwitchCycles:    50,
+		ContextSwitchCycles: 40,
+		CounterSlots:        0,
+	}
+}
+
+// TaskState is a task's lifecycle state.
+type TaskState uint8
+
+const (
+	// TaskReady means queued on some core.
+	TaskReady TaskState = iota
+	// TaskRunning means currently in a run burst.
+	TaskRunning
+	// TaskExited means the program terminated.
+	TaskExited
+)
+
+// Task is the kernel's per-process bookkeeping.
+type Task struct {
+	// Proc is the executing process.
+	Proc *exec.Process
+	// Name labels the task (benchmark name).
+	Name string
+	// Slot is workload bookkeeping (which job queue the task came from);
+	// -1 when unused.
+	Slot int
+	// Affinity is the current mask; the kernel only places the task on
+	// allowed cores.
+	Affinity uint64
+	// ArrivalPs and CompletionPs are arrival/completion timestamps
+	// (CompletionPs is -1 until exit).
+	ArrivalPs, CompletionPs int64
+	// Migrations counts cross-core moves (the paper's "core switches").
+	Migrations int
+	// State is the lifecycle state.
+	State TaskState
+
+	core          int   // current core (queue membership or running)
+	pendingCycles int64 // penalty cycles charged at next run (switch costs)
+	arriveHead    bool  // enqueue at the head on next arrival (mid-slice migration)
+}
+
+// Sample is one throughput observation.
+type Sample struct {
+	// AtPs is the sample timestamp.
+	AtPs int64
+	// Instructions is the cumulative committed-instruction count across all
+	// tasks at the sample time (phase-mark instructions included, as in the
+	// paper's throughput measurement).
+	Instructions uint64
+}
+
+// event kinds.
+type evKind uint8
+
+const (
+	evDispatch evKind = iota
+	evArrive
+	evBalance
+	evSample
+)
+
+type event struct {
+	ps   int64
+	seq  uint64
+	kind evKind
+	core int
+	task *Task
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ps != h[j].ps {
+		return h[i].ps < h[j].ps
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+type coreState struct {
+	id       int
+	typ      amp.CoreTypeID
+	l2       int
+	queue    []*Task
+	busy     bool // a dispatch event is in flight for this core
+	lastTask *Task
+}
+
+// Kernel is the simulated machine plus operating system.
+type Kernel struct {
+	// Machine is the hardware description.
+	Machine *amp.Machine
+	// Cost is the shared cost model.
+	Cost exec.CostModel
+	// Config holds scheduler constants.
+	Config Config
+	// Hardware is the performance-counter pool the tuning runtime draws on.
+	Hardware *perfcnt.Hardware
+	// Cache tracks shared-L2 occupancy.
+	Cache *cache.Model
+	// OnExit, when set, fires after a task completes (workloads use it to
+	// start the next job in the slot queue).
+	OnExit func(k *Kernel, t *Task)
+	// TraceBurst, when set, fires after every run burst (diagnostics).
+	TraceBurst func(core int, t *Task, cycles, startPs, endPs int64)
+
+	params  []exec.CoreParams
+	cores   []coreState
+	events  eventHeap
+	seq     uint64
+	nowPs   int64
+	tasks   []*Task
+	live    int
+	nextPID int
+
+	totalInstr uint64
+	samples    []Sample
+	sampling   bool
+	balancing  bool
+}
+
+// NewKernel boots a kernel on the machine.
+func NewKernel(m *amp.Machine, cost exec.CostModel, cfg Config) (*Kernel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		Machine:  m,
+		Cost:     cost,
+		Config:   cfg,
+		Hardware: perfcnt.NewHardware(cfg.CounterSlots),
+		Cache:    cache.New(m),
+		params:   exec.ParamsFor(cost, m),
+	}
+	for _, c := range m.Cores {
+		k.cores = append(k.cores, coreState{id: c.ID, typ: c.Type, l2: c.L2})
+	}
+	return k, nil
+}
+
+// NowPs returns the simulated clock.
+func (k *Kernel) NowPs() int64 { return k.nowPs }
+
+// NowSec returns the simulated clock in seconds.
+func (k *Kernel) NowSec() float64 { return PsToSec(k.nowPs) }
+
+// Tasks returns all tasks ever spawned, in spawn order.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// Live returns the number of non-exited tasks.
+func (k *Kernel) Live() int { return k.live }
+
+// TotalInstructions returns cumulative committed instructions.
+func (k *Kernel) TotalInstructions() uint64 { return k.totalInstr }
+
+// Samples returns the throughput samples recorded so far.
+func (k *Kernel) Samples() []Sample { return k.samples }
+
+// Params returns the per-core-type execution parameters.
+func (k *Kernel) Params() []exec.CoreParams { return k.params }
+
+// push schedules an event.
+func (k *Kernel) push(ps int64, kind evKind, core int) {
+	k.seq++
+	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: kind, core: core})
+}
+
+// pushArrive schedules a task arrival: the task is in flight (its burst
+// occupies the simulated interval up to ps) and joins the core's queue only
+// when the clock reaches ps. Routing every requeue through an arrival event
+// is what keeps a task from being visible in two places at once.
+func (k *Kernel) pushArrive(ps int64, t *Task, core int) {
+	k.seq++
+	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: evArrive, core: core, task: t})
+}
+
+// Spawn creates a task for the process and enqueues it. The affinity mask 0
+// means "all cores". Spawn may be called from OnExit callbacks.
+func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) *Task {
+	if affinity == 0 {
+		affinity = k.Machine.AllMask()
+	}
+	t := &Task{
+		Proc:         p,
+		Name:         name,
+		Slot:         slot,
+		Affinity:     affinity,
+		ArrivalPs:    k.nowPs,
+		CompletionPs: -1,
+		State:        TaskReady,
+		core:         -1,
+	}
+	k.tasks = append(k.tasks, t)
+	k.live++
+	k.enqueue(t, k.pickCore(t, -1))
+	return t
+}
+
+// pickCore selects the least-loaded allowed core (wake balancing), with an
+// optional core to exclude. Ties break toward lower core IDs.
+func (k *Kernel) pickCore(t *Task, exclude int) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for i := range k.cores {
+		if i == exclude || t.Affinity&(1<<uint(i)) == 0 {
+			continue
+		}
+		// Queue length is the nr_running proxy: dispatch handlers requeue
+		// the running task synchronously, so between events every live task
+		// sits in exactly one queue (busy only means a dispatch is pending).
+		load := len(k.cores[i].queue)
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best == -1 {
+		// Affinity excludes every core (including exclude); fall back to any
+		// allowed core, or core 0 for an empty mask.
+		for i := range k.cores {
+			if t.Affinity&(1<<uint(i)) != 0 {
+				return i
+			}
+		}
+		return 0
+	}
+	return best
+}
+
+// enqueue adds the task to a core's run queue, waking the core if idle.
+// Tasks that migrated mid-quantum enter at the head: the O(1) scheduler
+// keeps a migrated task's remaining timeslice and dynamic priority, so it
+// resumes promptly on the target core instead of waiting a full queue round.
+func (k *Kernel) enqueue(t *Task, core int) {
+	t.core = core
+	t.State = TaskReady
+	cs := &k.cores[core]
+	if t.arriveHead {
+		t.arriveHead = false
+		cs.queue = append([]*Task{t}, cs.queue...)
+	} else {
+		cs.queue = append(cs.queue, t)
+	}
+	if !cs.busy {
+		cs.busy = true
+		k.push(k.nowPs, evDispatch, core)
+	}
+}
+
+// Run advances the simulation until the event queue drains or the clock
+// passes untilSec (exclusive horizon; pending later events remain queued).
+func (k *Kernel) Run(untilSec float64) {
+	horizon := SecToPs(untilSec)
+	k.ensurePeriodicEvents()
+	for {
+		e, ok := k.events.Peek()
+		if !ok || e.ps > horizon {
+			return
+		}
+		heap.Pop(&k.events)
+		if e.ps > k.nowPs {
+			k.nowPs = e.ps
+		}
+		k.handle(e)
+	}
+}
+
+// RunUntilDone advances the simulation until every task has exited (or the
+// safety horizon passes). Used for isolation runs.
+func (k *Kernel) RunUntilDone(maxSec float64) error {
+	horizon := SecToPs(maxSec)
+	k.ensurePeriodicEvents()
+	for k.live > 0 {
+		e, ok := k.events.Peek()
+		if !ok {
+			return fmt.Errorf("osched: %d tasks live but no events pending", k.live)
+		}
+		if e.ps > horizon {
+			return fmt.Errorf("osched: horizon %.1fs exceeded with %d tasks live", maxSec, k.live)
+		}
+		heap.Pop(&k.events)
+		if e.ps > k.nowPs {
+			k.nowPs = e.ps
+		}
+		k.handle(e)
+	}
+	return nil
+}
+
+// handle processes one event.
+func (k *Kernel) handle(e event) {
+	switch e.kind {
+	case evDispatch:
+		k.dispatch(e.core)
+	case evArrive:
+		k.enqueue(e.task, e.core)
+	case evBalance:
+		k.balance()
+		k.push(k.nowPs+SecToPs(k.Config.BalanceIntervalSec), evBalance, -1)
+	case evSample:
+		k.samples = append(k.samples, Sample{AtPs: k.nowPs, Instructions: k.totalInstr})
+		k.push(k.nowPs+SecToPs(k.Config.SampleIntervalSec), evSample, -1)
+	}
+}
+
+// ensurePeriodicEvents seeds the balance and sample events once.
+func (k *Kernel) ensurePeriodicEvents() {
+	if !k.balancing {
+		k.balancing = true
+		k.push(k.nowPs+SecToPs(k.Config.BalanceIntervalSec), evBalance, -1)
+	}
+	if !k.sampling {
+		k.sampling = true
+		k.push(k.nowPs+SecToPs(k.Config.SampleIntervalSec), evSample, -1)
+	}
+}
+
+// dispatch runs one burst on a core.
+func (k *Kernel) dispatch(core int) {
+	cs := &k.cores[core]
+	if len(cs.queue) == 0 {
+		cs.busy = false
+		return
+	}
+	t := cs.queue[0]
+	cs.queue = cs.queue[1:]
+	t.State = TaskRunning
+
+	par := &k.params[cs.typ]
+	sliceCycles := int64(k.Config.TimesliceSec * par.CyclesPerSec)
+
+	var used int64
+	// Switch penalties accrued earlier (migration) and context switching.
+	// They consume core time but stay out of the process's virtualized
+	// counters: under the scaled clock a monitored section is ~10^4 cycles
+	// where the paper's are ~10^10 (Fig. 5), so penalty cycles that are
+	// noise on real hardware would dominate simulated IPC measurements.
+	if t.pendingCycles > 0 {
+		used += t.pendingCycles
+		t.pendingCycles = 0
+	}
+	if cs.lastTask != t && cs.lastTask != nil {
+		used += k.Config.ContextSwitchCycles
+	}
+	cs.lastTask = t
+
+	instrBefore := t.Proc.Counters.Instructions
+	k.Cache.Attach(cs.l2)
+
+	exited := false
+	migrate := false
+	for used < sliceCycles {
+		res := t.Proc.Step(par, core, k.Cache.ShareKB(cs.l2))
+		used += res.Cycles
+		if res.Exited {
+			exited = true
+			break
+		}
+		if res.WantMask != 0 && res.WantMask != t.Affinity {
+			t.Affinity = res.WantMask
+			if res.WantMask&(1<<uint(core)) == 0 {
+				migrate = true
+				break
+			}
+		}
+	}
+
+	k.Cache.Detach(cs.l2)
+	k.totalInstr += t.Proc.Counters.Instructions - instrBefore
+
+	// End-of-quantum hook: bounded monitoring windows (exec.QuantumHook).
+	if !exited && !migrate {
+		if qh, ok := t.Proc.Hook.(exec.QuantumHook); ok {
+			act := qh.OnQuantum(t.Proc, core)
+			if act.Mask != 0 && act.Mask != t.Affinity {
+				t.Affinity = act.Mask
+				if act.Mask&(1<<uint(core)) == 0 {
+					migrate = true
+				}
+			}
+		}
+	}
+
+	elapsed := used * par.PsPerCycle
+	end := k.nowPs + elapsed
+	if k.TraceBurst != nil {
+		k.TraceBurst(core, t, used, k.nowPs, end)
+	}
+
+	switch {
+	case exited:
+		t.State = TaskExited
+		t.CompletionPs = end
+		t.core = -1
+		k.live--
+		if k.OnExit != nil {
+			// The callback may Spawn; advance the clock first so arrivals
+			// stamp correctly.
+			saved := k.nowPs
+			k.nowPs = end
+			k.OnExit(k, t)
+			k.nowPs = saved
+		}
+	case migrate:
+		t.Migrations++
+		t.pendingCycles += k.Config.CoreSwitchCycles
+		t.arriveHead = true
+		target := k.pickCore(t, core)
+		k.pushArrive(end, t, target)
+	default:
+		// Slice expired: round-robin on the same core (or follow affinity if
+		// it moved under us without excluding this core). The task stays in
+		// flight until the burst's end.
+		k.pushArrive(end, t, core)
+	}
+
+	k.push(end, evDispatch, core)
+}
+
+// balance is the periodic load balancer: queue-length equalization honoring
+// affinity, the asymmetry-oblivious behavior of the stock scheduler.
+func (k *Kernel) balance() {
+	for pass := 0; pass < 2*len(k.cores); pass++ {
+		src, dst := -1, -1
+		srcLoad, dstLoad := -1, int(^uint(0)>>1)
+		for i := range k.cores {
+			load := len(k.cores[i].queue)
+			if load > srcLoad {
+				src, srcLoad = i, load
+			}
+			if load < dstLoad {
+				dst, dstLoad = i, load
+			}
+		}
+		if src == -1 || dst == -1 || srcLoad-dstLoad <= 1 {
+			return
+		}
+		// Pull the most recently queued task allowed on dst (O(1) scheduler
+		// pulls from the expired tail).
+		q := k.cores[src].queue
+		moved := false
+		for i := len(q) - 1; i >= 0; i-- {
+			t := q[i]
+			if t.Affinity&(1<<uint(dst)) == 0 {
+				continue
+			}
+			k.cores[src].queue = append(q[:i], q[i+1:]...)
+			t.Migrations++
+			t.pendingCycles += k.Config.CoreSwitchCycles
+			k.enqueue(t, dst)
+			moved = true
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// QueueLengths returns per-core run-queue lengths (diagnostics).
+func (k *Kernel) QueueLengths() []int {
+	out := make([]int, len(k.cores))
+	for i := range k.cores {
+		out[i] = len(k.cores[i].queue)
+	}
+	return out
+}
+
+// NextPID returns a fresh process ID.
+func (k *Kernel) NextPID() int {
+	k.nextPID++
+	return k.nextPID
+}

@@ -1,0 +1,306 @@
+package prog
+
+import (
+	"fmt"
+
+	"phasetune/internal/isa"
+)
+
+// Builder constructs Programs from structured control flow. The workload
+// generator and tests use it to express code shapes ("a loop of memory-bound
+// blocks nested in a compute phase") without hand-computing branch targets.
+type Builder struct {
+	name    string
+	procs   []*ProcBuilder
+	byName  map[string]int
+	entry   string
+	errs    []error
+	nextSeq int
+}
+
+// NewBuilder returns a Builder for a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: map[string]int{}}
+}
+
+// Proc starts (or returns the existing) procedure builder named name. The
+// first procedure declared becomes the program entry unless SetEntry is
+// called.
+func (b *Builder) Proc(name string) *ProcBuilder {
+	if i, ok := b.byName[name]; ok {
+		return b.procs[i]
+	}
+	pb := &ProcBuilder{b: b, name: name, index: len(b.procs)}
+	b.byName[name] = len(b.procs)
+	b.procs = append(b.procs, pb)
+	if b.entry == "" {
+		b.entry = name
+	}
+	return pb
+}
+
+// SetEntry selects the entry procedure by name.
+func (b *Builder) SetEntry(name string) { b.entry = name }
+
+// errorf records a construction error, reported by Build.
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Build finalizes the program, resolving labels and call targets, and
+// validates the result.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{Name: b.name}
+	for _, pb := range b.procs {
+		proc, err := pb.finish()
+		if err != nil {
+			return nil, err
+		}
+		p.Procs = append(p.Procs, proc)
+	}
+	entry, ok := b.byName[b.entry]
+	if !ok {
+		return nil, fmt.Errorf("builder %q: entry procedure %q not defined", b.name, b.entry)
+	}
+	p.Entry = entry
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("builder %q: %w", b.name, err)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// inputs are statically known to be valid.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Label marks an instruction position to branch to.
+type Label struct {
+	id int
+}
+
+// BlockMix specifies the straight-line instruction mix emitted by Straight.
+// Zero fields emit nothing of that class.
+type BlockMix struct {
+	IntALU, IntMul, IntDiv int
+	FPAdd, FPMul, FPDiv    int
+	Load, Store            int
+	// WorkingSetKB and Locality describe the locality of all memory
+	// references emitted for this mix (isa.MemRef).
+	WorkingSetKB float64
+	Locality     float64
+	// StrideB is the access stride; defaults to 8 bytes when zero.
+	StrideB int
+}
+
+// Total returns the number of instructions the mix expands to.
+func (m BlockMix) Total() int {
+	return m.IntALU + m.IntMul + m.IntDiv + m.FPAdd + m.FPMul + m.FPDiv + m.Load + m.Store
+}
+
+// ProcBuilder accumulates instructions for one procedure.
+type ProcBuilder struct {
+	b        *Builder
+	name     string
+	index    int
+	instrs   []isa.Instruction
+	labels   map[int]int // label id -> instruction index
+	patches  []patch
+	retDone  bool
+	nextLbl  int
+	finished bool
+}
+
+type patch struct {
+	instr int // index of instruction whose Target needs the label address
+	label int
+}
+
+// Index returns the procedure's index within the program under construction.
+func (pb *ProcBuilder) Index() int { return pb.index }
+
+// Emit appends a raw instruction.
+func (pb *ProcBuilder) Emit(in isa.Instruction) *ProcBuilder {
+	pb.instrs = append(pb.instrs, in)
+	return pb
+}
+
+// NewLabel allocates an unbound label.
+func (pb *ProcBuilder) NewLabel() Label {
+	if pb.labels == nil {
+		pb.labels = map[int]int{}
+	}
+	id := pb.nextLbl
+	pb.nextLbl++
+	pb.labels[id] = -1
+	return Label{id: id}
+}
+
+// Bind binds a label to the current position.
+func (pb *ProcBuilder) Bind(l Label) *ProcBuilder {
+	if pb.labels[l.id] != -1 {
+		pb.b.errorf("proc %q: label bound twice", pb.name)
+		return pb
+	}
+	pb.labels[l.id] = len(pb.instrs)
+	return pb
+}
+
+// Here returns a label bound to the current position.
+func (pb *ProcBuilder) Here() Label {
+	l := pb.NewLabel()
+	pb.Bind(l)
+	return l
+}
+
+// BranchTo emits a conditional branch to label l, taken with probability p.
+func (pb *ProcBuilder) BranchTo(l Label, p float64) *ProcBuilder {
+	pb.patches = append(pb.patches, patch{instr: len(pb.instrs), label: l.id})
+	return pb.Emit(isa.Instruction{Op: isa.Branch, TakenProb: p})
+}
+
+// BranchCounted emits a counted loop back edge to label l: taken trips-1
+// consecutive times, then falling through once.
+func (pb *ProcBuilder) BranchCounted(l Label, trips int) *ProcBuilder {
+	if trips < 1 {
+		pb.b.errorf("proc %q: counted branch trips %d < 1", pb.name, trips)
+		trips = 1
+	}
+	pb.patches = append(pb.patches, patch{instr: len(pb.instrs), label: l.id})
+	return pb.Emit(isa.Instruction{
+		Op:        isa.Branch,
+		TakenProb: 1 - 1/float64(trips),
+		TripCount: int32(trips),
+	})
+}
+
+// JumpTo emits an unconditional jump to label l.
+func (pb *ProcBuilder) JumpTo(l Label) *ProcBuilder {
+	pb.patches = append(pb.patches, patch{instr: len(pb.instrs), label: l.id})
+	return pb.Emit(isa.Instruction{Op: isa.Jump})
+}
+
+// Straight emits the straight-line expansion of mix: integer ops, FP ops,
+// then interleaved loads/stores carrying the mix's locality descriptor.
+func (pb *ProcBuilder) Straight(mix BlockMix) *ProcBuilder {
+	stride := mix.StrideB
+	if stride == 0 {
+		stride = 8
+	}
+	mem := isa.MemRef{WorkingSetKB: mix.WorkingSetKB, Locality: mix.Locality, StrideB: stride}
+	emitN := func(n int, op isa.OpClass) {
+		for i := 0; i < n; i++ {
+			pb.Emit(isa.Instruction{Op: op})
+		}
+	}
+	emitN(mix.IntALU, isa.IntALU)
+	emitN(mix.IntMul, isa.IntMul)
+	emitN(mix.IntDiv, isa.IntDiv)
+	emitN(mix.FPAdd, isa.FPAdd)
+	emitN(mix.FPMul, isa.FPMul)
+	emitN(mix.FPDiv, isa.FPDiv)
+	// Interleave loads and stores so blocks do not end with a long pure-store
+	// tail, which would be an unrealistic address stream.
+	ld, st := mix.Load, mix.Store
+	for ld > 0 || st > 0 {
+		if ld > 0 {
+			pb.Emit(isa.Instruction{Op: isa.Load, Mem: mem})
+			ld--
+		}
+		if st > 0 {
+			pb.Emit(isa.Instruction{Op: isa.Store, Mem: mem})
+			st--
+		}
+	}
+	return pb
+}
+
+// Loop emits a bottom-tested counted loop running round(trips) iterations
+// exactly. Use LoopGeometric for probabilistic trip counts.
+func (pb *ProcBuilder) Loop(trips float64, body func(*ProcBuilder)) *ProcBuilder {
+	n := int(trips + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	head := pb.Here()
+	body(pb)
+	pb.BranchCounted(head, n)
+	return pb
+}
+
+// LoopGeometric emits a bottom-tested loop whose iteration count is
+// geometric with the given mean: body; branch back with probability
+// 1-1/meanTrips. Runtimes of programs dominated by a single geometric loop
+// are exponentially spread around the mean.
+func (pb *ProcBuilder) LoopGeometric(meanTrips float64, body func(*ProcBuilder)) *ProcBuilder {
+	if meanTrips < 1 {
+		pb.b.errorf("proc %q: loop mean trip count %g < 1", pb.name, meanTrips)
+		meanTrips = 1
+	}
+	head := pb.Here()
+	body(pb)
+	pb.BranchTo(head, 1-1/meanTrips)
+	return pb
+}
+
+// IfElse emits a two-armed conditional: then runs with probability pThen.
+func (pb *ProcBuilder) IfElse(pThen float64, then, els func(*ProcBuilder)) *ProcBuilder {
+	// branch (taken -> then) over the else arm.
+	thenL := pb.NewLabel()
+	doneL := pb.NewLabel()
+	pb.BranchTo(thenL, pThen)
+	if els != nil {
+		els(pb)
+	}
+	pb.JumpTo(doneL)
+	pb.Bind(thenL)
+	then(pb)
+	pb.Bind(doneL)
+	// A label at the very end of a procedure must precede the final ret;
+	// callers are expected to emit more code (at least Ret).
+	return pb
+}
+
+// CallProc emits a call to the named procedure (declared before Build).
+func (pb *ProcBuilder) CallProc(name string) *ProcBuilder {
+	callee := pb.b.Proc(name)
+	return pb.Emit(isa.Instruction{Op: isa.Call, Target: callee.index})
+}
+
+// Syscall emits a syscall instruction.
+func (pb *ProcBuilder) Syscall() *ProcBuilder {
+	return pb.Emit(isa.Instruction{Op: isa.Syscall})
+}
+
+// Ret emits a return.
+func (pb *ProcBuilder) Ret() *ProcBuilder {
+	pb.retDone = true
+	return pb.Emit(isa.Instruction{Op: isa.Ret})
+}
+
+// finish resolves patches and returns the completed procedure.
+func (pb *ProcBuilder) finish() (*Procedure, error) {
+	if pb.finished {
+		return nil, fmt.Errorf("proc %q: finished twice", pb.name)
+	}
+	pb.finished = true
+	if !pb.retDone {
+		pb.Emit(isa.Instruction{Op: isa.Ret})
+	}
+	for _, pt := range pb.patches {
+		pos, ok := pb.labels[pt.label]
+		if !ok || pos == -1 {
+			return nil, fmt.Errorf("proc %q: unbound label in %v at +%d", pb.name, pb.instrs[pt.instr].Op, pt.instr)
+		}
+		pb.instrs[pt.instr].Target = pos
+	}
+	return &Procedure{Name: pb.name, Instrs: pb.instrs}, nil
+}

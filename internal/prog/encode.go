@@ -1,0 +1,238 @@
+package prog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"phasetune/internal/isa"
+)
+
+// This file implements a textual image format so program binaries exist as
+// on-disk artifacts: cmd/benchgen can dump the generated suite and
+// cmd/phasemark can analyze saved images, mirroring how the paper's
+// framework consumes binaries produced elsewhere.
+//
+// Format (line-oriented, '#' comments):
+//
+//	program <name> entry=<procIndex>
+//	proc <name>
+//	<mnemonic> [key=value]...
+//	end
+//
+// Instruction attributes: target (branch/jump instruction index, call
+// procedure index), p (branch taken probability), trips (counted-branch
+// trip count), ws/loc/stride (memory locality descriptor), mark (phase-mark
+// ID), bytes (encoded-size override).
+
+// Encode writes the program image to w.
+func Encode(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "program %s entry=%d\n", p.Name, p.Entry)
+	for _, proc := range p.Procs {
+		fmt.Fprintf(bw, "proc %s\n", proc.Name)
+		for _, in := range proc.Instrs {
+			bw.WriteString(encodeInstr(in))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("end\n")
+	}
+	return bw.Flush()
+}
+
+// encodeInstr renders one instruction.
+func encodeInstr(in isa.Instruction) string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case isa.Branch:
+		fmt.Fprintf(&b, " target=%d", in.Target)
+		if in.TripCount > 0 {
+			fmt.Fprintf(&b, " trips=%d", in.TripCount)
+		} else {
+			fmt.Fprintf(&b, " p=%g", in.TakenProb)
+		}
+	case isa.Jump, isa.Call:
+		fmt.Fprintf(&b, " target=%d", in.Target)
+	case isa.Load, isa.Store:
+		fmt.Fprintf(&b, " ws=%g loc=%g", in.Mem.WorkingSetKB, in.Mem.Locality)
+		if in.Mem.StrideB != 0 {
+			fmt.Fprintf(&b, " stride=%d", in.Mem.StrideB)
+		}
+	case isa.PhaseMark:
+		fmt.Fprintf(&b, " mark=%d", in.MarkID)
+	}
+	if in.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", in.Bytes)
+	}
+	return b.String()
+}
+
+// mnemonics maps instruction names back to classes.
+var mnemonics = func() map[string]isa.OpClass {
+	m := map[string]isa.OpClass{}
+	for c := 0; c < isa.NumOpClasses; c++ {
+		m[isa.OpClass(c).String()] = isa.OpClass(c)
+	}
+	return m
+}()
+
+// Decode parses a program image from r and validates it.
+func Decode(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var p *Program
+	var cur *Procedure
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "program":
+			if p != nil {
+				return nil, decodeErr(line, "duplicate program header")
+			}
+			if len(fields) < 3 {
+				return nil, decodeErr(line, "program header needs name and entry")
+			}
+			entry, err := intAttr(fields[2], "entry")
+			if err != nil {
+				return nil, decodeErr(line, err.Error())
+			}
+			p = &Program{Name: fields[1], Entry: entry}
+		case "proc":
+			if p == nil {
+				return nil, decodeErr(line, "proc before program header")
+			}
+			if cur != nil {
+				return nil, decodeErr(line, "proc inside proc (missing end)")
+			}
+			if len(fields) != 2 {
+				return nil, decodeErr(line, "proc needs exactly one name")
+			}
+			cur = &Procedure{Name: fields[1]}
+		case "end":
+			if cur == nil {
+				return nil, decodeErr(line, "end outside proc")
+			}
+			p.Procs = append(p.Procs, cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, decodeErr(line, "instruction outside proc")
+			}
+			in, err := decodeInstr(fields)
+			if err != nil {
+				return nil, decodeErr(line, err.Error())
+			}
+			cur.Instrs = append(cur.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("prog: empty image")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("prog: unterminated proc %q", cur.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func decodeErr(line int, msg string) error {
+	return fmt.Errorf("prog: line %d: %s", line, msg)
+}
+
+// decodeInstr parses one instruction line.
+func decodeInstr(fields []string) (isa.Instruction, error) {
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return isa.Instruction{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	in := isa.Instruction{Op: op}
+	for _, f := range fields[1:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return in, fmt.Errorf("malformed attribute %q", f)
+		}
+		switch key {
+		case "target":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return in, fmt.Errorf("bad target %q", val)
+			}
+			in.Target = v
+		case "p":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return in, fmt.Errorf("bad probability %q", val)
+			}
+			in.TakenProb = v
+		case "trips":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return in, fmt.Errorf("bad trip count %q", val)
+			}
+			in.TripCount = int32(v)
+			if in.TakenProb == 0 {
+				in.TakenProb = 1 - 1/float64(v)
+			}
+		case "ws":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return in, fmt.Errorf("bad working set %q", val)
+			}
+			in.Mem.WorkingSetKB = v
+		case "loc":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return in, fmt.Errorf("bad locality %q", val)
+			}
+			in.Mem.Locality = v
+		case "stride":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return in, fmt.Errorf("bad stride %q", val)
+			}
+			in.Mem.StrideB = v
+		case "mark":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return in, fmt.Errorf("bad mark ID %q", val)
+			}
+			in.MarkID = v
+		case "bytes":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 0 {
+				return in, fmt.Errorf("bad byte size %q", val)
+			}
+			in.Bytes = v
+		default:
+			return in, fmt.Errorf("unknown attribute %q", key)
+		}
+	}
+	return in, nil
+}
+
+// intAttr parses "key=value" asserting the key.
+func intAttr(s, key string) (int, error) {
+	k, v, found := strings.Cut(s, "=")
+	if !found || k != key {
+		return 0, fmt.Errorf("expected %s=<int>, got %q", key, s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value %q", key, v)
+	}
+	return n, nil
+}

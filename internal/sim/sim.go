@@ -1,0 +1,365 @@
+// Package sim glues the whole stack together: it takes a benchmark suite, a
+// machine, and a technique configuration, prepares program images (static
+// analysis -> transition marking -> instrumentation), runs workloads under
+// the simulated OS, and collects the statistics the experiments report.
+//
+// A Run is a pure function of its RunConfig: identical configurations give
+// bit-identical results, which the comparison protocol depends on (baseline
+// and tuned runs share workload queues and per-process branch seeds, as in
+// the paper §IV-A2).
+package sim
+
+import (
+	"fmt"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/cfg"
+	"phasetune/internal/exec"
+	"phasetune/internal/instrument"
+	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/rng"
+	"phasetune/internal/summarize"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+// Mode selects how processes run.
+type Mode int
+
+const (
+	// Baseline runs uninstrumented programs under the stock scheduler.
+	Baseline Mode = iota
+	// Tuned runs instrumented programs with the tuning runtime.
+	Tuned
+	// Overhead runs instrumented programs in all-cores mode (paper's time
+	// overhead methodology, §IV-B2).
+	Overhead
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Tuned:
+		return "tuned"
+	case Overhead:
+		return "overhead"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// RunConfig configures one simulation run.
+type RunConfig struct {
+	// Machine is the hardware; nil defaults to the paper's quad.
+	Machine *amp.Machine
+	// Cost is the shared cost model; zero value defaults.
+	Cost *exec.CostModel
+	// Sched configures the scheduler; nil defaults.
+	Sched *osched.Config
+	// Workload supplies the slot queues.
+	Workload *workload.Workload
+	// DurationSec is the experiment length in simulated seconds.
+	DurationSec float64
+	// Mode selects baseline/tuned/overhead.
+	Mode Mode
+	// Params is the marking technique (used when Mode != Baseline).
+	Params transition.Params
+	// Tuning configures the runtime (used when Mode == Tuned; Overhead
+	// forces all-cores mode).
+	Tuning tuning.Config
+	// TypingOpts configures static block typing.
+	TypingOpts phase.Options
+	// TypingError injects clustering error (Fig. 7); fraction in [0,1].
+	TypingError float64
+	// Seed drives workload process seeds and error injection.
+	Seed uint64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Tasks holds one record per spawned job, in spawn order.
+	Tasks []metrics.TaskStat
+	// Samples is the throughput time series.
+	Samples []metrics.ThroughputSample
+	// TotalInstructions is the cumulative committed instruction count.
+	TotalInstructions uint64
+	// CounterDefers counts monitoring requests that found no free event set.
+	CounterDefers uint64
+	// Images reports per-benchmark instrumentation statistics.
+	Images map[string]ImageStats
+	// DurationSec echoes the configured duration.
+	DurationSec float64
+}
+
+// ImageStats summarizes one prepared image.
+type ImageStats struct {
+	// Marks is the static mark count.
+	Marks int
+	// SpaceOverhead is the fractional size increase.
+	SpaceOverhead float64
+	// OrigBytes and NewBytes are encoded sizes.
+	OrigBytes, NewBytes int
+	// EffectiveK is the number of phase types after clustering.
+	EffectiveK int
+}
+
+// PrepareImage runs the full static pipeline for one program under one
+// technique: CFGs -> typing (with optional error injection) -> summarization
+// -> transition plan -> instrumentation -> executable image.
+func PrepareImage(p *prog.Program, params transition.Params, topts phase.Options,
+	errFrac float64, errSeed uint64, cm exec.CostModel) (*exec.Image, ImageStats, error) {
+
+	graphs, err := cfg.BuildAll(p)
+	if err != nil {
+		return nil, ImageStats{}, err
+	}
+	cg := cfg.BuildCallGraph(p, graphs)
+	typing, err := phase.ClusterBlocks(p, graphs, topts)
+	if err != nil {
+		return nil, ImageStats{}, err
+	}
+	if errFrac > 0 {
+		typing = typing.InjectError(errFrac, rng.New(errSeed))
+	}
+	var sum *summarize.Summary
+	if params.Technique == transition.Loop {
+		sum = summarize.SummarizeLoops(p, graphs, cg, typing, summarize.DefaultWeights())
+	}
+	plan, err := transition.ComputePlan(p, graphs, cg, typing, sum, params)
+	if err != nil {
+		return nil, ImageStats{}, err
+	}
+	bin, err := instrument.ApplyWithGraphs(p, plan, graphs)
+	if err != nil {
+		return nil, ImageStats{}, err
+	}
+	img, err := exec.NewImage(bin.Prog, bin, cm)
+	if err != nil {
+		return nil, ImageStats{}, err
+	}
+	stats := ImageStats{
+		Marks:         bin.NumMarks(),
+		SpaceOverhead: bin.SpaceOverhead(),
+		OrigBytes:     bin.OrigBytes,
+		NewBytes:      bin.NewBytes,
+		EffectiveK:    typing.K,
+	}
+	return img, stats, nil
+}
+
+// HookFactory builds the mark hook installed on each spawned process.
+type HookFactory func(k *osched.Kernel, img *exec.Image) exec.MarkHook
+
+// Run executes one full workload simulation.
+func Run(cfg RunConfig) (*Result, error) {
+	return RunWithHook(cfg, nil)
+}
+
+// RunWithHook is Run with a custom per-process hook factory. When factory is
+// nil, Tuned and Overhead modes install the standard tuning runtime and
+// Baseline installs no hook. A non-nil factory overrides the hook choice
+// (used by the temporal-adaptation baseline from the related-work ablation).
+func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
+	machine := cfg.Machine
+	if machine == nil {
+		machine = amp.Quad2Fast2Slow()
+	}
+	cost := exec.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	sched := osched.DefaultConfig()
+	if cfg.Sched != nil {
+		sched = *cfg.Sched
+	}
+	if cfg.Workload == nil || cfg.Workload.NumSlots() == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	topts := cfg.TypingOpts
+	if topts.K == 0 {
+		topts.K = 2
+	}
+	if topts.MinBlockInstrs == 0 {
+		topts.MinBlockInstrs = 5
+	}
+
+	// Prepare one image per distinct benchmark.
+	images := map[*workload.Benchmark]*exec.Image{}
+	res := &Result{Images: map[string]ImageStats{}, DurationSec: cfg.DurationSec}
+	for _, slot := range cfg.Workload.Slots {
+		for _, b := range slot {
+			if _, ok := images[b]; ok {
+				continue
+			}
+			if cfg.Mode == Baseline {
+				img, err := exec.NewImage(b.Prog, nil, cost)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s: %w", b.Name(), err)
+				}
+				images[b] = img
+				res.Images[b.Name()] = ImageStats{}
+				continue
+			}
+			img, stats, err := PrepareImage(b.Prog, cfg.Params, topts, cfg.TypingError, cfg.Seed^0x5eed, cost)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", b.Name(), err)
+			}
+			images[b] = img
+			res.Images[b.Name()] = stats
+		}
+	}
+
+	kernel, err := osched.NewKernel(machine, cost, sched)
+	if err != nil {
+		return nil, err
+	}
+
+	tcfg := cfg.Tuning
+	switch cfg.Mode {
+	case Tuned:
+		tcfg.Mode = tuning.ModeTune
+	case Overhead:
+		tcfg.Mode = tuning.ModeAllCores
+	}
+
+	// Per-slot queue positions; spawn the next job of a slot on completion.
+	positions := make([]int, cfg.Workload.NumSlots())
+	seeds := rng.New(cfg.Seed)
+	slotSeeds := make([]*rng.Source, cfg.Workload.NumSlots())
+	for i := range slotSeeds {
+		slotSeeds[i] = seeds.Split()
+	}
+
+	spawnNext := func(k *osched.Kernel, slot int) {
+		q := cfg.Workload.Slots[slot]
+		if positions[slot] >= len(q) {
+			return // queue drained
+		}
+		b := q[positions[slot]]
+		positions[slot]++
+		img := images[b]
+		var hook exec.MarkHook
+		switch {
+		case factory != nil:
+			hook = factory(k, img)
+		case cfg.Mode != Baseline:
+			hook = tuning.NewTuner(tcfg, machine, k.Hardware, img)
+		}
+		p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, slotSeeds[slot].Uint64(), hook)
+		k.Spawn(p, b.Name(), slot, 0)
+	}
+
+	kernel.OnExit = func(k *osched.Kernel, t *osched.Task) {
+		if t.Slot >= 0 {
+			spawnNext(k, t.Slot)
+		}
+	}
+	for slot := range cfg.Workload.Slots {
+		spawnNext(kernel, slot)
+	}
+
+	kernel.Run(cfg.DurationSec)
+
+	for _, t := range kernel.Tasks() {
+		stat := metrics.TaskStat{
+			Name:          t.Name,
+			Slot:          t.Slot,
+			ArrivalSec:    osched.PsToSec(t.ArrivalPs),
+			CompletionSec: -1,
+			Migrations:    t.Migrations,
+			Instructions:  t.Proc.Counters.Instructions,
+			Cycles:        t.Proc.Counters.Cycles,
+			MarksExecuted: t.Proc.MarksExecuted,
+		}
+		if t.State == osched.TaskExited {
+			stat.CompletionSec = osched.PsToSec(t.CompletionPs)
+		}
+		res.Tasks = append(res.Tasks, stat)
+	}
+	for _, s := range kernel.Samples() {
+		res.Samples = append(res.Samples, metrics.ThroughputSample{
+			AtSec:        osched.PsToSec(s.AtPs),
+			Instructions: s.Instructions,
+		})
+	}
+	res.TotalInstructions = kernel.TotalInstructions()
+	res.CounterDefers = kernel.Hardware.Defers()
+	return res, nil
+}
+
+// IsolationResult is one benchmark's isolation run.
+type IsolationResult struct {
+	// RuntimeSec is the completion time running alone on the machine.
+	RuntimeSec float64
+	// Migrations counts core switches (Table 1's "Switches" column when run
+	// tuned).
+	Migrations int
+	// Cycles and Instructions are final counters.
+	Cycles, Instructions uint64
+	// MarksExecuted counts dynamic mark executions.
+	MarksExecuted uint64
+}
+
+// Isolation runs each benchmark alone on the machine and returns per-name
+// results. mode selects baseline (for t_j reference times) or tuned (for
+// Table 1 switch counts).
+func Isolation(suite []*workload.Benchmark, machine *amp.Machine, cost exec.CostModel,
+	sched osched.Config, mode Mode, params transition.Params, tcfg tuning.Config,
+	topts phase.Options, seed uint64) (map[string]IsolationResult, error) {
+
+	if machine == nil {
+		machine = amp.Quad2Fast2Slow()
+	}
+	if topts.K == 0 {
+		topts.K = 2
+	}
+	if topts.MinBlockInstrs == 0 {
+		topts.MinBlockInstrs = 5
+	}
+	switch mode {
+	case Tuned:
+		tcfg.Mode = tuning.ModeTune
+	case Overhead:
+		tcfg.Mode = tuning.ModeAllCores
+	}
+
+	out := map[string]IsolationResult{}
+	for _, b := range suite {
+		var img *exec.Image
+		var err error
+		if mode == Baseline {
+			img, err = exec.NewImage(b.Prog, nil, cost)
+		} else {
+			img, _, err = PrepareImage(b.Prog, params, topts, 0, seed, cost)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
+		}
+		kernel, err := osched.NewKernel(machine, cost, sched)
+		if err != nil {
+			return nil, err
+		}
+		var hook exec.MarkHook
+		if mode != Baseline {
+			hook = tuning.NewTuner(tcfg, machine, kernel.Hardware, img)
+		}
+		p := exec.NewProcess(kernel.NextPID(), img, &kernel.Cost, seed^uint64(len(b.Name())), hook)
+		task := kernel.Spawn(p, b.Name(), 0, 0)
+		if err := kernel.RunUntilDone(1e6); err != nil {
+			return nil, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
+		}
+		out[b.Name()] = IsolationResult{
+			RuntimeSec:    osched.PsToSec(task.CompletionPs - task.ArrivalPs),
+			Migrations:    task.Migrations,
+			Cycles:        p.Counters.Cycles,
+			Instructions:  p.Counters.Instructions,
+			MarksExecuted: p.MarksExecuted,
+		}
+	}
+	return out, nil
+}

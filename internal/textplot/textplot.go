@@ -1,0 +1,182 @@
+// Package textplot renders experiment results as ASCII tables, box plots,
+// and log-scale bar charts for terminal output and EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows with left-aligned first column and right-aligned rest.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BoxPlot renders horizontal five-number-summary boxes on a shared axis.
+//
+//	name  |----[==|==]------|  min q1 med q3 max
+func BoxPlot(names []string, mins, q1s, meds, q3s, maxs []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range names {
+		lo = math.Min(lo, mins[i])
+		hi = math.Max(hi, maxs[i])
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		line := make([]byte, width)
+		for j := range line {
+			line[j] = ' '
+		}
+		pMin, pQ1, pMed, pQ3, pMax := scale(mins[i]), scale(q1s[i]), scale(meds[i]), scale(q3s[i]), scale(maxs[i])
+		for j := pMin; j <= pMax; j++ {
+			line[j] = '-'
+		}
+		for j := pQ1; j <= pQ3; j++ {
+			line[j] = '='
+		}
+		line[pMin] = '|'
+		line[pMax] = '|'
+		line[pMed] = 'M'
+		fmt.Fprintf(&b, "%-*s %s  min=%.3f med=%.3f max=%.3f\n", nameW, n, string(line), mins[i], meds[i], maxs[i])
+	}
+	return b.String()
+}
+
+// LogBars renders a log10-scale horizontal bar chart (Fig. 5 style). Zero
+// or negative values render as an empty bar.
+func LogBars(names []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxLog := 0.0
+	for _, v := range values {
+		if v > 0 {
+			if l := math.Log10(v); l > maxLog {
+				maxLog = l
+			}
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		bar := ""
+		label := "0"
+		if values[i] > 0 {
+			l := math.Log10(values[i])
+			if l < 0 {
+				l = 0
+			}
+			bar = strings.Repeat("#", int(float64(width)*l/maxLog))
+			label = fmt.Sprintf("%.3g", values[i])
+		}
+		fmt.Fprintf(&b, "%-*s %-*s %s\n", nameW, n, width, bar, label)
+	}
+	return b.String()
+}
+
+// Series renders an x/y sweep as aligned columns with a small bar.
+func Series(xLabel, yLabel string, xs, ys []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %10s\n", xLabel, yLabel)
+	for i := range xs {
+		n := int(float64(width) * (ys[i] - lo) / (hi - lo))
+		fmt.Fprintf(&b, "%10.3g  %10.3g  %s\n", xs[i], ys[i], strings.Repeat("*", n))
+	}
+	return b.String()
+}
+
+// Pct formats a percentage with sign.
+func Pct(v float64) string { return fmt.Sprintf("%+.2f%%", v) }

@@ -1,0 +1,86 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsAndPads(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	tb.AddRow("padded") // short row gets padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (header, rule, 3 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+	// All lines equal width for the first column block.
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("long cell missing")
+	}
+}
+
+func TestBoxPlotMarksQuartiles(t *testing.T) {
+	out := BoxPlot([]string{"x"}, []float64{0}, []float64{1}, []float64{2}, []float64{3}, []float64{4}, 40)
+	if !strings.Contains(out, "M") {
+		t.Error("median marker missing")
+	}
+	if !strings.Contains(out, "=") {
+		t.Error("inter-quartile box missing")
+	}
+	if !strings.Contains(out, "min=0.000") {
+		t.Error("min label missing")
+	}
+}
+
+func TestBoxPlotDegenerate(t *testing.T) {
+	// All-equal values must not panic or divide by zero.
+	out := BoxPlot([]string{"flat"}, []float64{1}, []float64{1}, []float64{1}, []float64{1}, []float64{1}, 20)
+	if out == "" {
+		t.Error("empty output for degenerate box")
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	out := LogBars([]string{"a", "b", "zero"}, []float64{10, 1000000, 0}, 30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Count(lines[1], "#") <= strings.Count(lines[0], "#") {
+		t.Error("larger value does not have longer bar")
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Error("zero value has a bar")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("x", "y", []float64{1, 2, 3}, []float64{0, 5, 10}, 20)
+	if !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Error("labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Count(lines[3], "*") <= strings.Count(lines[2], "*") {
+		t.Error("bars not increasing with values")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1.5) != "+1.50%" {
+		t.Errorf("Pct = %q", Pct(1.5))
+	}
+	if Pct(-2) != "-2.00%" {
+		t.Errorf("Pct = %q", Pct(-2))
+	}
+}

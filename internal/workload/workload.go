@@ -1,0 +1,479 @@
+// Package workload provides the synthetic SPEC-like benchmark suite and the
+// constant-size workload construction of the paper's evaluation (§IV-A2).
+//
+// Real SPEC CPU 2000/2006 binaries are unavailable here; each suite member
+// is a generated program whose *personality* — phase structure, memory vs.
+// compute balance, and relative length — matches the corresponding benchmark
+// as characterized by the paper's Table 1 (switch counts and isolation
+// runtimes). Benchmarks with a single behavior (459.GemsFDTD, 473.astar)
+// produce zero phase transitions; heavy phase-alternators (183.equake,
+// 401.bzip2, 171.swim, 172.mgrid) alternate compute- and memory-bound loops
+// many times. Every program also carries a few thousand instructions of
+// cold startup/utility code so static measurements (space overhead, Fig. 3)
+// are taken against realistically sized binaries.
+//
+// Time scale: isolation runtimes follow the paper's Table 1 divided by
+// ScaleDivisor (bwaves capped), under the scaled simulation clock of
+// package amp; phase alternation counts follow the paper's switch counts
+// under the same divisor. Uniform scaling preserves every relative quantity
+// (see DESIGN.md §6).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/isa"
+	"phasetune/internal/prog"
+	"phasetune/internal/reuse"
+	"phasetune/internal/rng"
+)
+
+// ScaleDivisor divides the paper's Table 1 isolation runtimes (and switch
+// counts) to keep simulations tractable.
+const ScaleDivisor = 20
+
+// PhaseKind is the behavioral class of one phase.
+type PhaseKind int
+
+const (
+	// CPUPhase is integer-compute-bound: high IPC on every core, 1.5x
+	// faster wall clock on fast cores.
+	CPUPhase PhaseKind = iota
+	// FPPhase is floating-point-compute-bound.
+	FPPhase
+	// MemPhase streams a working set overflowing the L2 into DRAM: higher
+	// IPC on slow cores, little wall-clock gain from fast ones.
+	MemPhase
+	// MemLightPhase streams an L2-resident working set: memory-intensive by
+	// instruction mix, but the on-die cache absorbs it, so IPC is core-type
+	// invariant and the phase stays on fast cores.
+	MemLightPhase
+	// MixedPhase is in between; programs made only of it have one phase
+	// type and never switch.
+	MixedPhase
+)
+
+// String names the kind.
+func (k PhaseKind) String() string {
+	switch k {
+	case CPUPhase:
+		return "cpu"
+	case FPPhase:
+		return "fp"
+	case MemPhase:
+		return "mem"
+	case MemLightPhase:
+		return "memlight"
+	case MixedPhase:
+		return "mixed"
+	}
+	return fmt.Sprintf("phasekind(%d)", int(k))
+}
+
+// variants returns the block mixes of one phase-body iteration: a main
+// block plus two alternates the body picks between at run time. All three
+// share the kind's behavior (one phase type) while giving the binary static
+// diversity.
+func (k PhaseKind) variants() [3]prog.BlockMix {
+	switch k {
+	case CPUPhase:
+		return [3]prog.BlockMix{
+			{IntALU: 26, IntMul: 6, Load: 4, Store: 2, WorkingSetKB: 16, Locality: 0.99},
+			{IntALU: 18, IntMul: 2, Load: 2, WorkingSetKB: 16, Locality: 0.99},
+			{IntALU: 14, IntMul: 4, Store: 2, WorkingSetKB: 16, Locality: 0.99},
+		}
+	case FPPhase:
+		return [3]prog.BlockMix{
+			{FPAdd: 12, FPMul: 10, IntALU: 8, Load: 5, Store: 2, WorkingSetKB: 32, Locality: 0.99},
+			{FPAdd: 8, FPMul: 6, IntALU: 4, Load: 3, WorkingSetKB: 32, Locality: 0.99},
+			{FPAdd: 6, FPMul: 8, IntALU: 6, Store: 2, WorkingSetKB: 32, Locality: 0.99},
+		}
+	case MemPhase:
+		return [3]prog.BlockMix{
+			{Load: 16, Store: 8, IntALU: 8, WorkingSetKB: 3072, Locality: 0.94},
+			{Load: 12, Store: 4, IntALU: 4, WorkingSetKB: 4096, Locality: 0.93},
+			{Load: 10, Store: 6, IntALU: 6, WorkingSetKB: 2048, Locality: 0.95},
+		}
+	case MemLightPhase:
+		return [3]prog.BlockMix{
+			{Load: 16, Store: 8, IntALU: 8, WorkingSetKB: 512, Locality: 0.96},
+			{Load: 12, Store: 4, IntALU: 4, WorkingSetKB: 384, Locality: 0.96},
+			{Load: 10, Store: 6, IntALU: 6, WorkingSetKB: 640, Locality: 0.97},
+		}
+	case MixedPhase:
+		return [3]prog.BlockMix{
+			{IntALU: 14, FPAdd: 4, Load: 8, Store: 3, WorkingSetKB: 512, Locality: 0.97},
+			{IntALU: 10, FPAdd: 2, Load: 6, Store: 2, WorkingSetKB: 512, Locality: 0.97},
+			{IntALU: 8, FPAdd: 4, Load: 5, Store: 3, WorkingSetKB: 512, Locality: 0.97},
+		}
+	}
+	return [3]prog.BlockMix{{IntALU: 10}, {IntALU: 8}, {IntALU: 6}}
+}
+
+// PhaseSpec is one phase of a benchmark.
+type PhaseSpec struct {
+	// Kind selects the behavior.
+	Kind PhaseKind
+	// Share is this phase's fraction of the benchmark's total cycles.
+	Share float64
+	// Helper places the phase body in a separate procedure called from the
+	// loop, exercising the inter-procedural analysis.
+	Helper bool
+}
+
+// BenchSpec describes one suite member.
+type BenchSpec struct {
+	// Name is the SPEC-style benchmark name.
+	Name string
+	// PaperRuntimeSec and PaperSwitches record the paper's Table 1 row this
+	// personality models (0 switches means single-phase).
+	PaperRuntimeSec float64
+	PaperSwitches   int
+	// TargetSec is the designed isolation runtime on a fast core under the
+	// scaled clock.
+	TargetSec float64
+	// Alternations is the exact number of outer-loop repetitions of the
+	// phase sequence; 1 means the phases run once, in order.
+	Alternations int
+	// StaticInstrs is the approximate cold startup/utility code size,
+	// giving the binary realistic static bulk.
+	StaticInstrs int
+}
+
+// Phases derives the per-iteration phase sequence from the personality
+// table.
+func (s BenchSpec) Phases() []PhaseSpec { return phaseTable[s.Name] }
+
+// phaseTable maps benchmark names to phase sequences.
+var phaseTable = map[string][]PhaseSpec{
+	"401.bzip2":    {{Kind: CPUPhase, Share: 0.55}, {Kind: MemPhase, Share: 0.45}},
+	"410.bwaves":   {{Kind: FPPhase, Share: 0.45}, {Kind: MemPhase, Share: 0.55, Helper: true}},
+	"429.mcf":      {{Kind: MemPhase, Share: 0.55}, {Kind: CPUPhase, Share: 0.1}, {Kind: MemPhase, Share: 0.35}},
+	"459.GemsFDTD": {{Kind: MemPhase, Share: 1}},
+	"470.lbm":      {{Kind: MemPhase, Share: 0.8}, {Kind: FPPhase, Share: 0.2}},
+	"473.astar":    {{Kind: MixedPhase, Share: 1}},
+	"188.ammp":     {{Kind: FPPhase, Share: 0.4}, {Kind: MemPhase, Share: 0.3}, {Kind: FPPhase, Share: 0.3}},
+	"173.applu":    {{Kind: FPPhase, Share: 0.6}, {Kind: MemPhase, Share: 0.4, Helper: true}},
+	"179.art":      {{Kind: MemPhase, Share: 0.8}, {Kind: CPUPhase, Share: 0.2}},
+	"183.equake":   {{Kind: CPUPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
+	"164.gzip":     {{Kind: CPUPhase, Share: 0.7}, {Kind: MemPhase, Share: 0.3}},
+	"181.mcf":      {{Kind: MemPhase, Share: 0.6}, {Kind: CPUPhase, Share: 0.15}, {Kind: MemPhase, Share: 0.25}},
+	"172.mgrid":    {{Kind: FPPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
+	"171.swim":     {{Kind: MemPhase, Share: 0.45}, {Kind: FPPhase, Share: 0.55}},
+	"175.vpr":      {{Kind: CPUPhase, Share: 0.35}, {Kind: MemPhase, Share: 0.35}, {Kind: CPUPhase, Share: 0.3}},
+}
+
+// Benchmark is a generated suite member.
+type Benchmark struct {
+	// Spec is the personality that generated the program.
+	Spec BenchSpec
+	// Prog is the generated program image.
+	Prog *prog.Program
+}
+
+// Name returns the benchmark name.
+func (b *Benchmark) Name() string { return b.Spec.Name }
+
+// mixCycles estimates the isolation cycle cost of executing one block of
+// mix m on a fast core with the full reference L2, mirroring the exec
+// timing model (control-flow cost excluded).
+func mixCycles(cm exec.CostModel, machine *amp.Machine, m prog.BlockMix) float64 {
+	c := float64(m.IntALU)*cm.CPI[isa.IntALU] +
+		float64(m.IntMul)*cm.CPI[isa.IntMul] +
+		float64(m.IntDiv)*cm.CPI[isa.IntDiv] +
+		float64(m.FPAdd)*cm.CPI[isa.FPAdd] +
+		float64(m.FPMul)*cm.CPI[isa.FPMul] +
+		float64(m.FPDiv)*cm.CPI[isa.FPDiv] +
+		float64(m.Load)*cm.CPI[isa.Load] +
+		float64(m.Store)*cm.CPI[isa.Store]
+	mem := m.Load + m.Store
+	if mem > 0 {
+		par := exec.ParamsFor(cm, machine)[0]
+		prof := reuse.Profile{WorkingSetKB: m.WorkingSetKB, Locality: m.Locality}
+		l1miss := float64(mem) * prof.L1MissFraction()
+		share := machine.L2s[0].SizeKB
+		c += l1miss * (par.L2HitCycles + prof.MissRatio(share)*par.MemCycles)
+	}
+	return c
+}
+
+// emitPhaseBody emits one iteration of a phase body (main variant plus a
+// random alternate) and returns its expected cycle cost.
+func emitPhaseBody(pb *prog.ProcBuilder, kind PhaseKind, cm exec.CostModel, machine *amp.Machine) float64 {
+	vs := kind.variants()
+	pb.Straight(vs[0])
+	pb.IfElse(0.5,
+		func(pb *prog.ProcBuilder) { pb.Straight(vs[1]) },
+		func(pb *prog.ProcBuilder) { pb.Straight(vs[2]) },
+	)
+	cost := mixCycles(cm, machine, vs[0]) +
+		0.5*(mixCycles(cm, machine, vs[1])+mixCycles(cm, machine, vs[2])) +
+		cm.CPI[isa.Branch] + 0.5*cm.CPI[isa.Jump]
+	return cost
+}
+
+// emitStartup emits the cold startup/utility code: a chain of conditional
+// straight blocks whose mixes are perturbed versions of the benchmark's own
+// phase kinds (so single-behavior benchmarks stay single-typed), plus a few
+// utility procedures called once.
+func emitStartup(b *prog.Builder, spec BenchSpec, r *rng.Source) {
+	phases := spec.Phases()
+	kinds := make([]PhaseKind, 0, len(phases))
+	for _, ph := range phases {
+		kinds = append(kinds, ph.Kind)
+	}
+	perturb := func(m prog.BlockMix) prog.BlockMix {
+		scale := func(n int) int {
+			if n == 0 {
+				return 0
+			}
+			v := n + r.Intn(n+1) - n/2 // n +/- n/2
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+		m.IntALU = scale(m.IntALU)
+		m.IntMul = scale(m.IntMul)
+		m.FPAdd = scale(m.FPAdd)
+		m.FPMul = scale(m.FPMul)
+		m.Load = scale(m.Load)
+		m.Store = scale(m.Store)
+		return m
+	}
+	blockOf := func() prog.BlockMix {
+		kind := kinds[r.Intn(len(kinds))]
+		vs := kind.variants()
+		return perturb(vs[r.Intn(3)])
+	}
+
+	// Utility procedures (~1/4 of the static budget).
+	nUtil := 2 + r.Intn(3)
+	utilBudget := spec.StaticInstrs / 4
+	perUtil := utilBudget / nUtil
+	utilNames := make([]string, nUtil)
+	for u := 0; u < nUtil; u++ {
+		name := fmt.Sprintf("util%d", u)
+		utilNames[u] = name
+		up := b.Proc(name)
+		emitted := 0
+		for emitted < perUtil {
+			m := blockOf()
+			up.Straight(m)
+			emitted += m.Total()
+			if r.Float64() < 0.4 && emitted < perUtil {
+				m2 := blockOf()
+				up.IfElse(0.5,
+					func(pb *prog.ProcBuilder) { pb.Straight(m2) },
+					nil,
+				)
+				emitted += m2.Total()
+			}
+		}
+		up.Ret()
+	}
+
+	sp := b.Proc("startup")
+	emitted := 0
+	budget := spec.StaticInstrs - utilBudget
+	for emitted < budget {
+		m1, m2 := blockOf(), blockOf()
+		sp.IfElse(0.5,
+			func(pb *prog.ProcBuilder) { pb.Straight(m1) },
+			func(pb *prog.ProcBuilder) { pb.Straight(m2) },
+		)
+		emitted += m1.Total() + m2.Total()
+	}
+	for _, name := range utilNames {
+		sp.CallProc(name)
+	}
+	sp.Ret()
+}
+
+// Generate builds the benchmark program for a spec.
+func Generate(spec BenchSpec, cm exec.CostModel, machine *amp.Machine) (*Benchmark, error) {
+	if spec.TargetSec <= 0 {
+		return nil, fmt.Errorf("workload: %s: non-positive target runtime", spec.Name)
+	}
+	phases := spec.Phases()
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: %s: unknown personality", spec.Name)
+	}
+	alts := spec.Alternations
+	if alts < 1 {
+		alts = 1
+	}
+	totalShare := 0.0
+	for _, ph := range phases {
+		totalShare += ph.Share
+	}
+	if totalShare <= 0 {
+		return nil, fmt.Errorf("workload: %s: zero total phase share", spec.Name)
+	}
+
+	fastCPS := machine.Types[0].CyclesPerSec
+	totalCycles := spec.TargetSec * fastCPS
+
+	b := prog.NewBuilder(spec.Name)
+	main := b.Proc("main")
+	b.SetEntry("main")
+
+	// Cold code first: startup chain and utility procedures.
+	r := rng.New(hashName(spec.Name))
+	if spec.StaticInstrs > 0 {
+		emitStartup(b, spec, r)
+	}
+
+	// Helper procedures for Helper phases, with their per-call cost.
+	helperCost := map[int]float64{}
+	for pi, ph := range phases {
+		if !ph.Helper {
+			continue
+		}
+		name := fmt.Sprintf("phase%d_%s", pi, ph.Kind)
+		hp := b.Proc(name)
+		helperCost[pi] = emitPhaseBody(hp, ph.Kind, cm, machine) +
+			cm.CPI[isa.Call] + cm.CPI[isa.Ret]
+		hp.Ret()
+	}
+
+	if spec.StaticInstrs > 0 {
+		main.CallProc("startup")
+	}
+
+	emitPhases := func(pb *prog.ProcBuilder, cyclesBudget float64) {
+		for pi, ph := range phases {
+			phaseCycles := cyclesBudget * ph.Share / totalShare
+			if ph.Helper {
+				perIter := helperCost[pi] + cm.CPI[isa.Branch]
+				trips := math.Max(1, phaseCycles/perIter)
+				name := fmt.Sprintf("phase%d_%s", pi, ph.Kind)
+				pb.Loop(trips, func(pb *prog.ProcBuilder) {
+					pb.CallProc(name)
+				})
+				continue
+			}
+			// Inline body: emit once into the loop, sizing the trip count
+			// from the expected cost returned by the emitter.
+			head := pb.Here()
+			cost := emitPhaseBody(pb, ph.Kind, cm, machine) + cm.CPI[isa.Branch]
+			trips := int(math.Max(1, phaseCycles/cost) + 0.5)
+			pb.BranchCounted(head, trips)
+		}
+	}
+
+	if alts > 1 {
+		main.Loop(float64(alts), func(pb *prog.ProcBuilder) {
+			// A small preamble block keeps the alternation loop's header
+			// distinct from the first phase loop's header; natural loops
+			// sharing a header would be merged by the CFG analysis and the
+			// phase structure would disappear into one region.
+			pb.Straight(prog.BlockMix{IntALU: 3})
+			emitPhases(pb, totalCycles/float64(alts))
+		})
+	} else {
+		emitPhases(main, totalCycles)
+	}
+	main.Ret()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", spec.Name, err)
+	}
+	return &Benchmark{Spec: spec, Prog: p}, nil
+}
+
+// hashName derives a stable per-benchmark seed.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// scale converts a paper Table 1 runtime to the scaled target, capping very
+// long benchmarks so no single job dominates wall-clock time.
+func scale(paperSec float64) float64 {
+	s := paperSec / ScaleDivisor
+	return math.Min(s, 300)
+}
+
+// Specs returns the 15 suite personalities modeled on the paper's Table 1.
+// Alternation counts follow the paper's switch counts / (2 * ScaleDivisor):
+// each alternation of a two-phase benchmark causes two switches.
+func Specs() []BenchSpec {
+	mk := func(name string, paperSec float64, paperSw, alts, static int) BenchSpec {
+		return BenchSpec{
+			Name:            name,
+			PaperRuntimeSec: paperSec,
+			PaperSwitches:   paperSw,
+			TargetSec:       scale(paperSec),
+			Alternations:    alts,
+			StaticInstrs:    static,
+		}
+	}
+	return []BenchSpec{
+		mk("401.bzip2", 364, 4837, 120, 4000),
+		mk("410.bwaves", 33636, 205, 6, 6000),
+		mk("429.mcf", 872, 15, 1, 3000),
+		mk("459.GemsFDTD", 3327, 0, 1, 8000),
+		mk("470.lbm", 1123, 99, 3, 3000),
+		mk("473.astar", 55, 0, 1, 3500),
+		mk("188.ammp", 67, 3, 1, 5000),
+		mk("173.applu", 3414, 205, 6, 5500),
+		mk("179.art", 46, 3, 1, 2500),
+		mk("183.equake", 62, 7715, 190, 3000),
+		mk("164.gzip", 23, 3, 1, 2000),
+		mk("181.mcf", 58, 6, 1, 2500),
+		mk("172.mgrid", 172, 2005, 50, 3500),
+		mk("171.swim", 5720, 3204, 80, 4500),
+		mk("175.vpr", 46, 6, 1, 4000),
+	}
+}
+
+// Suite generates the full benchmark suite deterministically.
+func Suite(cm exec.CostModel, machine *amp.Machine) ([]*Benchmark, error) {
+	specs := Specs()
+	out := make([]*Benchmark, 0, len(specs))
+	for _, s := range specs {
+		b, err := Generate(s, cm, machine)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Workload is the paper's constant-size workload: a fixed number of slots,
+// each with its own queue of randomly selected benchmarks. Upon completion
+// of a job, the next job in its slot's queue starts immediately (§IV-A2).
+type Workload struct {
+	// Slots holds one job queue per slot.
+	Slots [][]*Benchmark
+}
+
+// BuildWorkload draws queueLen random benchmarks per slot. The same seed
+// reproduces the same queues, so compared techniques run identical work —
+// exactly the paper's protocol ("when comparing two techniques, the same
+// queues were used for each experiment").
+func BuildWorkload(suite []*Benchmark, slots, queueLen int, seed uint64) *Workload {
+	r := rng.New(seed)
+	w := &Workload{Slots: make([][]*Benchmark, slots)}
+	for s := 0; s < slots; s++ {
+		q := make([]*Benchmark, queueLen)
+		for i := range q {
+			q[i] = suite[r.Intn(len(suite))]
+		}
+		w.Slots[s] = q
+	}
+	return w
+}
+
+// NumSlots returns the slot count.
+func (w *Workload) NumSlots() int { return len(w.Slots) }

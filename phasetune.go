@@ -1,0 +1,213 @@
+// Package phasetune is a library reproduction of "Phase-based tuning for
+// better utilization of performance-asymmetric multicore processors"
+// (Sondag & Rajan, CGO 2011).
+//
+// It provides the complete stack the paper builds and evaluates on:
+//
+//   - a synthetic program representation with a structured builder
+//     (NewProgram), standing in for the x86 binaries the paper instruments;
+//   - the static phase-transition analysis: basic-block typing by k-means
+//     over instruction-mix and reuse-distance features, Allen-interval and
+//     inter-procedural loop summarization (the paper's Algorithm 1), and
+//     transition marking with minimum-size and lookahead filters;
+//   - a binary instrumenter that places phase marks (≤78 bytes each) inline
+//     on fallthrough edges and in jump stubs on taken edges;
+//   - a performance-asymmetric multicore simulator: frequency-asymmetric
+//     cores sharing L2 caches, an O(1)-style scheduler with affinity, and
+//     virtualized performance counters;
+//   - the dynamic tuning runtime: representative-section IPC monitoring and
+//     the paper's Algorithm 2 section-to-core assignment (Select);
+//   - the paper's benchmark-suite personalities, workload construction,
+//     metrics (throughput, max-flow, max-stretch, average process time),
+//     and one experiment driver per table and figure in the evaluation.
+//
+// The quickest way in:
+//
+//	suite, _ := phasetune.Suite()
+//	w := phasetune.NewWorkload(suite, 18, 256, 1)
+//	base, _ := phasetune.Run(phasetune.RunConfig{Workload: w, DurationSec: 400})
+//	tuned, _ := phasetune.Run(phasetune.RunConfig{
+//	    Workload: w, DurationSec: 400, Mode: phasetune.Tuned,
+//	    Params: phasetune.BestParams(), Tuning: phasetune.DefaultTuning(),
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package phasetune
+
+import (
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/experiments"
+	"phasetune/internal/instrument"
+	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/sim"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+// Program construction.
+type (
+	// Program is a synthetic program image (the analog of a binary).
+	Program = prog.Program
+	// ProgramBuilder builds programs from structured control flow.
+	ProgramBuilder = prog.Builder
+	// ProcBuilder builds one procedure.
+	ProcBuilder = prog.ProcBuilder
+	// BlockMix specifies a straight-line instruction mix.
+	BlockMix = prog.BlockMix
+)
+
+// NewProgram starts building a program.
+func NewProgram(name string) *ProgramBuilder { return prog.NewBuilder(name) }
+
+// Machines and cost model.
+type (
+	// Machine describes an asymmetric multicore.
+	Machine = amp.Machine
+	// CostModel fixes shared microarchitectural constants.
+	CostModel = exec.CostModel
+	// SchedulerConfig holds OS scheduler constants.
+	SchedulerConfig = osched.Config
+)
+
+// QuadAMP returns the paper's evaluation machine: 2x2.4 GHz + 2x1.6 GHz,
+// same-frequency pairs sharing an L2.
+func QuadAMP() *Machine { return amp.Quad2Fast2Slow() }
+
+// ThreeCoreAMP returns the paper's future-work machine: 2 fast + 1 slow.
+func ThreeCoreAMP() *Machine { return amp.ThreeCore2Fast1Slow() }
+
+// SymmetricMachine returns an n-core symmetric control machine.
+func SymmetricMachine(n int, ghz float64) *Machine { return amp.Symmetric(n, ghz) }
+
+// DefaultCost returns the calibrated cost model.
+func DefaultCost() CostModel { return exec.DefaultCostModel() }
+
+// DefaultScheduler returns the scheduler configuration used by the
+// experiments.
+func DefaultScheduler() SchedulerConfig { return osched.DefaultConfig() }
+
+// Static analysis and instrumentation.
+type (
+	// TechniqueParams selects a marking technique and its parameters.
+	TechniqueParams = transition.Params
+	// TypingOptions configures static block typing.
+	TypingOptions = phase.Options
+	// Binary is an instrumented program image.
+	Binary = instrument.Binary
+	// Image is an executable (optionally instrumented) program.
+	Image = exec.Image
+	// ImageStats summarizes instrumentation of one program.
+	ImageStats = sim.ImageStats
+)
+
+// Technique constants (the paper's three granularities).
+const (
+	// BasicBlock is the BB[minSize, lookahead] family.
+	BasicBlock = transition.BasicBlock
+	// Interval is the Int[minSize] family.
+	Interval = transition.Interval
+	// Loop is the Loop[minSize] family.
+	Loop = transition.Loop
+)
+
+// BestParams returns the paper's best variant, Loop[45].
+func BestParams() TechniqueParams { return experiments.BestParams() }
+
+// DefaultTyping returns the standard typing options (k = 2 phase types).
+func DefaultTyping() TypingOptions { return phase.Options{K: 2, MinBlockInstrs: 5} }
+
+// Instrument runs the full static pipeline — CFG construction, phase typing,
+// summarization, transition marking, binary rewriting — and returns an
+// executable image plus instrumentation statistics.
+func Instrument(p *Program, params TechniqueParams, topts TypingOptions, cost CostModel) (*Image, ImageStats, error) {
+	return sim.PrepareImage(p, params, topts, 0, 1, cost)
+}
+
+// Dynamic tuning.
+type (
+	// TuningConfig parameterizes the runtime (δ threshold, sampling).
+	TuningConfig = tuning.Config
+)
+
+// DefaultTuning returns the headline tuning configuration.
+func DefaultTuning() TuningConfig { return tuning.DefaultConfig() }
+
+// Select is the paper's Algorithm 2: choose the core type for a phase given
+// per-type measured IPC and threshold delta.
+func Select(m *Machine, ipcPerType []float64, delta float64) amp.CoreTypeID {
+	return tuning.Select(m, ipcPerType, delta)
+}
+
+// Workloads and simulation.
+type (
+	// Benchmark is a generated suite member.
+	Benchmark = workload.Benchmark
+	// Workload is a constant-size slot-queue workload.
+	Workload = workload.Workload
+	// RunConfig configures one simulation run.
+	RunConfig = sim.RunConfig
+	// RunResult is the outcome of a run.
+	RunResult = sim.Result
+	// TaskStat is one job's record.
+	TaskStat = metrics.TaskStat
+	// RunMode selects baseline, tuned, or overhead-measurement execution.
+	RunMode = sim.Mode
+)
+
+// Run modes.
+const (
+	// Baseline runs uninstrumented programs under the stock scheduler.
+	Baseline = sim.Baseline
+	// Tuned runs instrumented programs with the tuning runtime.
+	Tuned = sim.Tuned
+	// Overhead runs instrumented programs in all-cores mode.
+	Overhead = sim.Overhead
+)
+
+// Suite generates the 15 SPEC-like benchmark personalities of the paper's
+// Table 1 on the default machine and cost model.
+func Suite() ([]*Benchmark, error) {
+	return workload.Suite(exec.DefaultCostModel(), amp.Quad2Fast2Slow())
+}
+
+// SuiteFor generates the suite for a specific machine and cost model.
+func SuiteFor(cost CostModel, m *Machine) ([]*Benchmark, error) {
+	return workload.Suite(cost, m)
+}
+
+// NewWorkload draws a slot-queue workload from the suite (the paper's
+// §IV-A2 construction). The same seed always yields the same queues.
+func NewWorkload(suite []*Benchmark, slots, queueLen int, seed uint64) *Workload {
+	return workload.BuildWorkload(suite, slots, queueLen, seed)
+}
+
+// Run executes one workload simulation.
+func Run(cfg RunConfig) (*RunResult, error) { return sim.Run(cfg) }
+
+// Metrics.
+
+// AvgProcessTime returns the mean flow time of completed jobs.
+func AvgProcessTime(tasks []TaskStat) float64 { return metrics.AvgProcessTime(tasks) }
+
+// MaxFlow returns the longest flow time (Bender et al. fairness metric).
+func MaxFlow(tasks []TaskStat) float64 { return metrics.MaxFlow(tasks) }
+
+// MaxStretch returns the largest flow/isolation ratio.
+func MaxStretch(tasks []TaskStat, isolationSec map[string]float64) (float64, error) {
+	return metrics.MaxStretch(tasks, isolationSec)
+}
+
+// Experiments.
+type (
+	// ExperimentConfig is the shared experiment environment.
+	ExperimentConfig = experiments.Config
+)
+
+// DefaultExperiments returns the configuration behind EXPERIMENTS.md.
+func DefaultExperiments() (ExperimentConfig, error) { return experiments.Default() }
