@@ -6,24 +6,20 @@
 //
 //	ampsim [-mode baseline|tuned|overhead] [-slots 18] [-duration 400]
 //	       [-seed 5] [-machine quad|tri] [-delta 0.06] [-technique loop]
-//	       [-min 45]
+//	       [-min 45] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"phasetune/internal/amp"
-	"phasetune/internal/exec"
+	"phasetune"
 	"phasetune/internal/metrics"
-	"phasetune/internal/osched"
-	"phasetune/internal/phase"
-	"phasetune/internal/sim"
 	"phasetune/internal/textplot"
 	"phasetune/internal/transition"
-	"phasetune/internal/tuning"
-	"phasetune/internal/workload"
 )
 
 func main() {
@@ -35,32 +31,33 @@ func main() {
 	delta := flag.Float64("delta", 0.06, "IPC threshold")
 	technique := flag.String("technique", "loop", "bb, interval, or loop")
 	minSize := flag.Int("min", 45, "minimum section size")
+	progress := flag.Bool("progress", false, "print simulated-time progress")
 	flag.Parse()
 
-	if err := run(*mode, *slots, *duration, *seed, *machineFlag, *delta, *technique, *minSize); err != nil {
+	if err := run(*mode, *slots, *duration, *seed, *machineFlag, *delta, *technique, *minSize, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modeName string, slots int, duration float64, seed uint64, machineName string, delta float64, technique string, minSize int) error {
-	var machine *amp.Machine
+func run(modeName string, slots int, duration float64, seed uint64, machineName string, delta float64, technique string, minSize int, progress bool) error {
+	var machine *phasetune.Machine
 	switch machineName {
 	case "quad":
-		machine = amp.Quad2Fast2Slow()
+		machine = phasetune.QuadAMP()
 	case "tri":
-		machine = amp.ThreeCore2Fast1Slow()
+		machine = phasetune.ThreeCoreAMP()
 	default:
 		return fmt.Errorf("unknown machine %q", machineName)
 	}
-	var mode sim.Mode
+	var mode phasetune.RunMode
 	switch modeName {
 	case "baseline":
-		mode = sim.Baseline
+		mode = phasetune.Baseline
 	case "tuned":
-		mode = sim.Tuned
+		mode = phasetune.Tuned
 	case "overhead":
-		mode = sim.Overhead
+		mode = phasetune.Overhead
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
@@ -76,27 +73,51 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 		return fmt.Errorf("unknown technique %q", technique)
 	}
 
-	cost := exec.DefaultCostModel()
-	suite, err := workload.Suite(cost, machine)
+	cost := phasetune.DefaultCost()
+	suite, err := phasetune.SuiteFor(cost, machine)
 	if err != nil {
 		return err
 	}
-	w := workload.BuildWorkload(suite, slots, 256, seed)
-	tcfg := tuning.DefaultConfig()
+	w := phasetune.NewWorkload(suite, slots, 256, seed)
+	tcfg := phasetune.DefaultTuning()
 	tcfg.Delta = delta
-	res, err := sim.Run(sim.RunConfig{
-		Machine:     machine,
-		Cost:        &cost,
+
+	var events phasetune.Events
+	if progress {
+		events.OnProgress = func(simSec float64) {
+			fmt.Fprintf(os.Stderr, "\rt=%.0fs", simSec)
+		}
+		events.OnImage = func(bench string, stats phasetune.ImageStats, cached bool) {
+			src := "prepared"
+			if cached {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "image %-14s %s (%d marks)\n", bench, src, stats.Marks)
+		}
+	}
+
+	// Ctrl-C cancels the simulation mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess := phasetune.NewSession(
+		phasetune.WithMachine(machine),
+		phasetune.WithCost(cost),
+		phasetune.WithTuning(tcfg),
+		phasetune.WithEvents(events),
+	)
+	res, err := sess.RunContext(ctx, phasetune.RunSpec{
 		Workload:    w,
 		DurationSec: duration,
 		Mode:        mode,
-		Params: transition.Params{
+		Params: phasetune.TechniqueParams{
 			Technique: tech, MinSize: minSize, PropagateThroughUntyped: true,
 		},
-		Tuning:     tcfg,
-		TypingOpts: phase.Options{K: 2, MinBlockInstrs: 5},
-		Seed:       seed,
+		Seed: seed,
 	})
+	if progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -122,6 +143,5 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 	t.AddRow("marks executed", fmt.Sprintf("%d", marks))
 	t.AddRow("counter deferrals", fmt.Sprintf("%d", res.CounterDefers))
 	fmt.Print(t.String())
-	_ = osched.DefaultConfig
 	return nil
 }

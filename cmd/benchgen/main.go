@@ -12,12 +12,10 @@ import (
 	"os"
 	"path/filepath"
 
-	"phasetune/internal/amp"
+	"phasetune"
 	"phasetune/internal/cfg"
-	"phasetune/internal/exec"
 	"phasetune/internal/prog"
 	"phasetune/internal/textplot"
-	"phasetune/internal/workload"
 )
 
 func main() {
@@ -31,9 +29,7 @@ func main() {
 }
 
 func run(verbose bool, dump string) error {
-	machine := amp.Quad2Fast2Slow()
-	cost := exec.DefaultCostModel()
-	suite, err := workload.Suite(cost, machine)
+	suite, err := phasetune.Suite()
 	if err != nil {
 		return err
 	}

@@ -6,9 +6,13 @@
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
 //	             switchcost|typing|threecore|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
+//	            [-workers N] [-cachestats]
 //
 // Each experiment prints a paper-style table plus the paper's reported
 // numbers where applicable. -quick shrinks workload sizes for a fast pass.
+// All drivers run on the concurrent sweep engine with one shared artifact
+// cache for the whole invocation: -workers bounds the pool (0 = GOMAXPROCS)
+// and -cachestats reports how often the static pipeline was actually run.
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 	duration := flag.Float64("duration", 0, "workload duration in simulated seconds (0 = default 800)")
 	seedsFlag := flag.String("seeds", "", "comma-separated workload seeds (default 5,42,99)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	cachestats := flag.Bool("cachestats", false, "print artifact cache statistics at exit")
 	flag.Parse()
 
 	cfg, err := experiments.Default()
@@ -44,6 +50,7 @@ func main() {
 	if *duration > 0 {
 		cfg.DurationSec = *duration
 	}
+	cfg.Workers = *workers
 	if *seedsFlag != "" {
 		var seeds []uint64
 		for _, s := range strings.Split(*seedsFlag, ",") {
@@ -84,6 +91,11 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *runFlag))
+	}
+	if *cachestats {
+		s := cfg.Cache.Stats()
+		fmt.Printf("\nartifact cache: %d entries, %d pipeline runs, %d hits\n",
+			s.Entries, s.Misses, s.Hits)
 	}
 }
 

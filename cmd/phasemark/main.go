@@ -13,16 +13,11 @@ import (
 	"fmt"
 	"os"
 
-	"phasetune/internal/amp"
-	"phasetune/internal/cfg"
-	"phasetune/internal/exec"
-	"phasetune/internal/instrument"
+	"phasetune"
 	"phasetune/internal/phase"
 	"phasetune/internal/prog"
-	"phasetune/internal/summarize"
 	"phasetune/internal/textplot"
 	"phasetune/internal/transition"
-	"phasetune/internal/workload"
 )
 
 func main() {
@@ -53,9 +48,7 @@ func run(bench, load, technique string, minSize, lookahead int, verbose bool) er
 			return err
 		}
 	} else {
-		machine := amp.Quad2Fast2Slow()
-		cost := exec.DefaultCostModel()
-		suite, err := workload.Suite(cost, machine)
+		suite, err := phasetune.Suite()
 		if err != nil {
 			return err
 		}
@@ -85,35 +78,24 @@ func run(bench, load, technique string, minSize, lookahead int, verbose bool) er
 		PropagateThroughUntyped: true,
 	}
 
+	// The staged public API: the analysis (CFGs, call graph, typing) is
+	// computed once and could be instrumented under any number of variants.
 	p := image
-	graphs, err := cfg.BuildAll(p)
+	analysis, err := phasetune.Analyze(p, phasetune.DefaultTyping())
 	if err != nil {
 		return err
 	}
-	cg := cfg.BuildCallGraph(p, graphs)
-	typing, err := phase.ClusterBlocks(p, graphs, phase.Options{K: 2, MinBlockInstrs: 5})
-	if err != nil {
-		return err
-	}
-	var sum *summarize.Summary
-	if tech == transition.Loop {
-		sum = summarize.SummarizeLoops(p, graphs, cg, typing, summarize.DefaultWeights())
-	}
-	plan, err := transition.ComputePlan(p, graphs, cg, typing, sum, params)
-	if err != nil {
-		return err
-	}
-	bin, err := instrument.ApplyWithGraphs(p, plan, graphs)
+	art, err := analysis.Instrument(params, phasetune.DefaultCost())
 	if err != nil {
 		return err
 	}
 
 	blocks, loops := 0, 0
-	for _, g := range graphs {
+	for _, g := range analysis.Graphs {
 		blocks += len(g.Blocks)
 		loops += len(g.NaturalLoops())
 	}
-	stats := phase.ComputeStats(typing)
+	stats := phase.ComputeStats(analysis.Typing)
 
 	t := textplot.NewTable("property", "value")
 	t.AddRow("benchmark", p.Name)
@@ -123,16 +105,16 @@ func run(bench, load, technique string, minSize, lookahead int, verbose bool) er
 	t.AddRow("basic blocks", fmt.Sprintf("%d", blocks))
 	t.AddRow("natural loops", fmt.Sprintf("%d", loops))
 	t.AddRow("typed blocks", fmt.Sprintf("%d", stats.TypedBlocks))
-	t.AddRow("phase types", fmt.Sprintf("%d", typing.K))
-	t.AddRow("marks", fmt.Sprintf("%d", bin.NumMarks()))
-	t.AddRow("binary bytes", fmt.Sprintf("%d -> %d", bin.OrigBytes, bin.NewBytes))
-	t.AddRow("space overhead", fmt.Sprintf("%.3f%%", 100*bin.SpaceOverhead()))
+	t.AddRow("phase types", fmt.Sprintf("%d", analysis.Typing.K))
+	t.AddRow("marks", fmt.Sprintf("%d", art.Stats.Marks))
+	t.AddRow("binary bytes", fmt.Sprintf("%d -> %d", art.Stats.OrigBytes, art.Stats.NewBytes))
+	t.AddRow("space overhead", fmt.Sprintf("%.3f%%", 100*art.Stats.SpaceOverhead))
 	fmt.Print(t.String())
 
 	if verbose {
 		fmt.Println()
 		mt := textplot.NewTable("mark", "proc", "edge", "kind", "type")
-		for _, m := range bin.Marks {
+		for _, m := range art.Image.Marks {
 			kind := "inline"
 			if m.Stub {
 				kind = "stub"

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,12 +24,17 @@ func main() {
 	w := phasetune.NewWorkload(suite, 8, 256, 11)
 	const duration = 400
 
+	// A session pinned to the 3-core machine; the binaries themselves are
+	// machine-independent, so a cache shared with a quad session would
+	// serve the same artifacts there.
+	sess := phasetune.NewSession(
+		phasetune.WithMachine(machine),
+		phasetune.WithCost(cost),
+	)
 	run := func(mode phasetune.RunMode) *phasetune.RunResult {
-		res, err := phasetune.Run(phasetune.RunConfig{
-			Machine: machine, Cost: &cost,
+		res, err := sess.RunContext(context.Background(), phasetune.RunSpec{
 			Workload: w, DurationSec: duration, Mode: mode,
-			Params: phasetune.BestParams(), Tuning: phasetune.DefaultTuning(),
-			TypingOpts: phasetune.DefaultTyping(), Seed: 3,
+			Params: phasetune.BestParams(), Seed: 3,
 		})
 		if err != nil {
 			log.Fatal(err)

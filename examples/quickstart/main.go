@@ -38,16 +38,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Static pipeline: typing -> transition analysis -> instrumentation.
+	// Staged static pipeline: the analysis (CFGs, call graph, k-means
+	// typing) runs once; instrumenting it under another technique later
+	// reuses every stage up to transition planning.
 	cost := phasetune.DefaultCost()
-	img, stats, err := phasetune.Instrument(p, phasetune.BestParams(), phasetune.DefaultTyping(), cost)
+	analysis, err := phasetune.Analyze(p, phasetune.DefaultTyping())
 	if err != nil {
 		log.Fatal(err)
 	}
+	art, err := analysis.Instrument(phasetune.BestParams(), cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, stats := art.Image, art.Stats
 	fmt.Printf("instrumented %q: %d phase marks, %.2f%% space overhead, %d phase types\n",
 		p.Name, stats.Marks, 100*stats.SpaceOverhead, stats.EffectiveK)
 	fmt.Printf("static size: %d -> %d bytes\n", stats.OrigBytes, stats.NewBytes)
-	_ = img
 
 	fmt.Println("\nmark sites (edge -> phase type):")
 	for _, m := range img.Marks {

@@ -1,9 +1,13 @@
 // Specmix runs the paper's headline comparison on a mixed workload: the
 // SPEC-like suite in an 18-slot constant-size workload, stock scheduler
 // versus phase-based tuning (Loop[45]), reporting the Table 2 metrics.
+//
+// The two runs go through one Session.Sweep: they execute concurrently,
+// share the session's artifact cache, and come back in input order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,20 +22,16 @@ func main() {
 	w := phasetune.NewWorkload(suite, 18, 256, 5)
 	const duration = 400
 
-	base, err := phasetune.Run(phasetune.RunConfig{
-		Workload: w, DurationSec: duration, Mode: phasetune.Baseline, Seed: 7,
+	sess := phasetune.NewSession()
+	results, err := sess.Sweep(context.Background(), []phasetune.RunSpec{
+		{Workload: w, DurationSec: duration, Mode: phasetune.Baseline, Seed: 7},
+		{Workload: w, DurationSec: duration, Mode: phasetune.Tuned,
+			Params: phasetune.BestParams(), Seed: 7},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuned, err := phasetune.Run(phasetune.RunConfig{
-		Workload: w, DurationSec: duration, Mode: phasetune.Tuned,
-		Params: phasetune.BestParams(), Tuning: phasetune.DefaultTuning(),
-		TypingOpts: phasetune.DefaultTyping(), Seed: 7,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	base, tuned := results[0], results[1]
 
 	bAvg := phasetune.AvgProcessTime(base.Tasks)
 	tAvg := phasetune.AvgProcessTime(tuned.Tasks)

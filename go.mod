@@ -1,0 +1,3 @@
+module phasetune
+
+go 1.22

@@ -3,9 +3,18 @@
 // Each driver is a pure function of its Config and returns typed rows; the
 // cmd/experiments binary renders them as paper-style tables and the root
 // bench harness replays them under testing.B.
+//
+// Every driver runs on the sim.Sweep engine: run grids fan out across a
+// bounded worker pool (Config.Workers) and all static-pipeline products are
+// served by one shared artifact cache (Config.Cache), so an experiment
+// campaign instruments each distinct (benchmark, technique) pair exactly
+// once no matter how many runs, seeds, or drivers consume it. Results are
+// independent of the worker count: each run is a pure function of its
+// configuration.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"phasetune/internal/amp"
@@ -42,6 +51,11 @@ type Config struct {
 	Typing phase.Options
 	// Tuning is the runtime configuration (δ etc.).
 	Tuning tuning.Config
+	// Workers bounds concurrent runs in sweeps (<=0 uses GOMAXPROCS).
+	Workers int
+	// Cache is the shared artifact cache; every driver's image
+	// preparations go through it.
+	Cache *sim.ImageCache
 }
 
 // Default returns the configuration used throughout EXPERIMENTS.md.
@@ -63,7 +77,63 @@ func Default() (Config, error) {
 		Seeds:       []uint64{5, 42, 99},
 		Typing:      phase.Options{K: 2, MinBlockInstrs: 5},
 		Tuning:      tuning.DefaultConfig(),
+		Cache:       sim.NewImageCache(),
 	}, nil
+}
+
+// cache returns the campaign cache, building one on first use so
+// zero-value Configs still share artifacts within a driver call.
+func (c *Config) cache() *sim.ImageCache {
+	if c.Cache == nil {
+		c.Cache = sim.NewImageCache()
+	}
+	return c.Cache
+}
+
+// artifact fetches one benchmark's prepared image through the shared cache.
+func (c *Config) artifact(b *workload.Benchmark, params transition.Params) (*sim.Artifact, error) {
+	return c.cache().Get(b.Prog, sim.ImageSpec{Params: params, Typing: c.Typing}, c.Cost)
+}
+
+// runCfg assembles one sweep cell. w may be nil to build the seed's
+// workload from the config dimensions.
+func (c *Config) runCfg(mode sim.Mode, params transition.Params, tcfg tuning.Config,
+	errFrac float64, seed uint64, durationSec float64) sim.RunConfig {
+
+	return sim.RunConfig{
+		Machine: c.Machine, Cost: &c.Cost, Sched: &c.Sched,
+		Workload:    workload.BuildWorkload(c.Suite, c.Slots, c.QueueLen, seed),
+		DurationSec: durationSec, Mode: mode, Params: params, Tuning: tcfg,
+		TypingOpts: c.Typing, TypingError: errFrac, Seed: seed,
+	}
+}
+
+// sweep fans the grid across the configured worker pool with the shared
+// artifact cache; results come back in input order.
+func (c *Config) sweep(grid []sim.RunConfig) ([]*sim.Result, error) {
+	return sim.Sweep(context.Background(), grid, sim.SweepOptions{
+		Workers: c.Workers,
+		Cache:   c.cache(),
+	})
+}
+
+// baselines runs one baseline per seed (concurrently) and returns them
+// keyed by seed. Baseline runs depend only on (workload seed, duration), so
+// every driver that needs them builds the same grid.
+func (c *Config) baselines(durationSec float64) (map[uint64]*sim.Result, error) {
+	grid := make([]sim.RunConfig, len(c.Seeds))
+	for i, seed := range c.Seeds {
+		grid[i] = c.runCfg(sim.Baseline, transition.Params{}, tuning.Config{}, 0, seed, durationSec)
+	}
+	results, err := c.sweep(grid)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]*sim.Result, len(c.Seeds))
+	for i, seed := range c.Seeds {
+		out[seed] = results[i]
+	}
+	return out, nil
 }
 
 // Scale shrinks the workload dimensions for quick runs (benchmarks use it
@@ -122,22 +192,37 @@ type SpaceRow struct {
 }
 
 // Fig3SpaceOverhead measures instrumented-binary growth for every variant.
+// The (variant x benchmark) grid is purely static, so it fans the artifact
+// preparations straight across the worker pool.
 func Fig3SpaceOverhead(cfg Config) ([]SpaceRow, error) {
-	var rows []SpaceRow
-	for _, params := range TechniqueGrid() {
+	grid := TechniqueGrid()
+	nb := len(cfg.Suite)
+	stats := make([]sim.ImageStats, len(grid)*nb)
+	err := sim.ForEach(context.Background(), len(stats), cfg.Workers, func(i int) error {
+		params, b := grid[i/nb], cfg.Suite[i%nb]
+		art, err := cfg.artifact(b, params)
+		if err != nil {
+			return fmt.Errorf("fig3 %s %s: %w", params.Name(), b.Name(), err)
+		}
+		stats[i] = art.Stats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]SpaceRow, len(grid))
+	for vi, params := range grid {
 		row := SpaceRow{Variant: params.Name()}
 		marks := 0
-		for _, b := range cfg.Suite {
-			_, stats, err := sim.PrepareImage(b.Prog, params, cfg.Typing, 0, 1, cfg.Cost)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s %s: %w", params.Name(), b.Name(), err)
-			}
-			row.Overheads = append(row.Overheads, stats.SpaceOverhead)
-			marks += stats.Marks
+		for bi := 0; bi < nb; bi++ {
+			s := stats[vi*nb+bi]
+			row.Overheads = append(row.Overheads, s.SpaceOverhead)
+			marks += s.Marks
 		}
 		row.Box = metrics.BoxStats(row.Overheads)
-		row.MeanMarks = float64(marks) / float64(len(cfg.Suite))
-		rows = append(rows, row)
+		row.MeanMarks = float64(marks) / float64(nb)
+		rows[vi] = row
 	}
 	return rows, nil
 }
@@ -156,43 +241,47 @@ type TimeOverheadRow struct {
 }
 
 // Fig4TimeOverhead compares baseline and all-cores instrumented runs on the
-// same workload (paper: workload size 84).
+// same workload (paper: workload size 84). The per-seed baselines run once
+// and are shared by every variant; the (variant x seed) overhead grid then
+// sweeps concurrently.
 func Fig4TimeOverhead(cfg Config, variants []transition.Params) ([]TimeOverheadRow, error) {
 	if variants == nil {
 		variants = TechniqueGrid()
 	}
-	var rows []TimeOverheadRow
+	bases, err := cfg.baselines(cfg.DurationSec)
+	if err != nil {
+		return nil, err
+	}
+
+	grid := make([]sim.RunConfig, 0, len(variants)*len(cfg.Seeds))
 	for _, params := range variants {
+		for _, seed := range cfg.Seeds {
+			grid = append(grid, cfg.runCfg(sim.Overhead, params, tuning.Config{}, 0, seed, cfg.DurationSec))
+		}
+	}
+	results, err := cfg.sweep(grid)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]TimeOverheadRow, len(variants))
+	for vi, params := range variants {
 		var overheads []float64
 		var marks uint64
-		for _, seed := range cfg.Seeds {
-			w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
-			base, err := sim.Run(sim.RunConfig{
-				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			over, err := sim.Run(sim.RunConfig{
-				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Overhead,
-				Params: params, TypingOpts: cfg.Typing, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for si, seed := range cfg.Seeds {
+			base := bases[seed]
+			over := results[vi*len(cfg.Seeds)+si]
 			loss := -metrics.PercentIncrease(float64(base.TotalInstructions), float64(over.TotalInstructions))
 			overheads = append(overheads, loss)
 			for _, t := range over.Tasks {
 				marks += t.MarksExecuted
 			}
 		}
-		rows = append(rows, TimeOverheadRow{
+		rows[vi] = TimeOverheadRow{
 			Variant:       params.Name(),
 			OverheadPct:   metrics.Mean(overheads),
 			MarksExecuted: marks,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -217,10 +306,14 @@ type SwitchRow struct {
 	CyclesPerSwitch float64
 }
 
-// Table1Switches runs every benchmark alone under the best technique.
+// Table1Switches runs every benchmark alone under the best technique,
+// fanning the suite across the worker pool.
 func Table1Switches(cfg Config) ([]SwitchRow, error) {
-	iso, err := sim.Isolation(cfg.Suite, cfg.Machine, cfg.Cost, cfg.Sched,
-		sim.Tuned, BestParams(), cfg.Tuning, cfg.Typing, 1)
+	iso, err := sim.IsolationContext(context.Background(), sim.IsolationSpec{
+		Suite: cfg.Suite, Machine: cfg.Machine, Cost: cfg.Cost, Sched: cfg.Sched,
+		Mode: sim.Tuned, Params: BestParams(), Tuning: cfg.Tuning, Typing: cfg.Typing,
+		Seed: 1, Workers: cfg.Workers, Cache: cfg.cache(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -255,21 +348,26 @@ type ThresholdRow struct {
 }
 
 // Fig6Thresholds sweeps δ with the basic-block strategy (paper: BB, min
-// block size 15, lookahead 0).
+// block size 15, lookahead 0). All (δ x seed) tuned runs sweep concurrently
+// against per-seed baselines that run once.
 func Fig6Thresholds(cfg Config, deltas []float64) ([]ThresholdRow, error) {
 	if deltas == nil {
 		deltas = []float64{0, 0.02, 0.04, 0.06, 0.1, 0.2, 0.4}
 	}
 	params := transition.Params{Technique: transition.BasicBlock, MinSize: 15, PropagateThroughUntyped: true}
-	var rows []ThresholdRow
-	for _, d := range deltas {
+	specs := make([]tunedSpec, len(deltas))
+	for i, d := range deltas {
 		tcfg := cfg.Tuning
 		tcfg.Delta = d
-		imp, err := throughputImprovement(cfg, params, tcfg, 0)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ThresholdRow{Delta: d, ImprovementPct: imp})
+		specs[i] = tunedSpec{params: params, tuning: tcfg}
+	}
+	imps, err := throughputImprovements(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ThresholdRow, len(deltas))
+	for i, d := range deltas {
+		rows[i] = ThresholdRow{Delta: d, ImprovementPct: imps[i]}
 	}
 	return rows, nil
 }
@@ -291,48 +389,63 @@ func Fig7ClusteringError(cfg Config, errors []float64) ([]ErrorRow, error) {
 		errors = []float64{0, 0.1, 0.2, 0.3}
 	}
 	params := transition.Params{Technique: transition.BasicBlock, MinSize: 15, PropagateThroughUntyped: true}
-	var rows []ErrorRow
-	for _, e := range errors {
-		imp, err := throughputImprovement(cfg, params, cfg.Tuning, e)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ErrorRow{ErrorPct: e * 100, ImprovementPct: imp})
+	specs := make([]tunedSpec, len(errors))
+	for i, e := range errors {
+		specs[i] = tunedSpec{params: params, tuning: cfg.Tuning, errFrac: e}
+	}
+	imps, err := throughputImprovements(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ErrorRow, len(errors))
+	for i, e := range errors {
+		rows[i] = ErrorRow{ErrorPct: e * 100, ImprovementPct: imps[i]}
 	}
 	return rows, nil
 }
 
-// throughputImprovement measures tuned-vs-baseline committed-instruction
-// throughput over the first min(400, duration) seconds, averaged over seeds.
-func throughputImprovement(cfg Config, params transition.Params, tcfg tuning.Config, errFrac float64) (float64, error) {
+// tunedSpec is one tuned-run configuration in a throughput comparison grid.
+type tunedSpec struct {
+	params  transition.Params
+	tuning  tuning.Config
+	errFrac float64
+}
+
+// throughputImprovements measures tuned-vs-baseline committed-instruction
+// throughput over the first min(400, duration) seconds for every spec,
+// averaged over seeds. Baselines run once per seed; the (spec x seed) tuned
+// grid sweeps concurrently.
+func throughputImprovements(cfg Config, specs []tunedSpec) ([]float64, error) {
 	window := cfg.DurationSec
 	if window > 400 {
 		window = 400
 	}
-	var imps []float64
-	for _, seed := range cfg.Seeds {
-		w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
-		base, err := sim.Run(sim.RunConfig{
-			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-			Workload: w, DurationSec: window, Mode: sim.Baseline, Seed: seed,
-		})
-		if err != nil {
-			return 0, err
-		}
-		tuned, err := sim.Run(sim.RunConfig{
-			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-			Workload: w, DurationSec: window, Mode: sim.Tuned,
-			Params: params, Tuning: tcfg, TypingOpts: cfg.Typing,
-			TypingError: errFrac, Seed: seed,
-		})
-		if err != nil {
-			return 0, err
-		}
-		bt := metrics.ThroughputOver(base.Samples, 0, window)
-		tt := metrics.ThroughputOver(tuned.Samples, 0, window)
-		imps = append(imps, metrics.PercentIncrease(bt, tt))
+	bases, err := cfg.baselines(window)
+	if err != nil {
+		return nil, err
 	}
-	return metrics.Mean(imps), nil
+	grid := make([]sim.RunConfig, 0, len(specs)*len(cfg.Seeds))
+	for _, s := range specs {
+		for _, seed := range cfg.Seeds {
+			grid = append(grid, cfg.runCfg(sim.Tuned, s.params, s.tuning, s.errFrac, seed, window))
+		}
+	}
+	results, err := cfg.sweep(grid)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]float64, len(specs))
+	for si := range specs {
+		var imps []float64
+		for k, seed := range cfg.Seeds {
+			bt := metrics.ThroughputOver(bases[seed].Samples, 0, window)
+			tt := metrics.ThroughputOver(results[si*len(cfg.Seeds)+k].Samples, 0, window)
+			imps = append(imps, metrics.PercentIncrease(bt, tt))
+		}
+		out[si] = metrics.Mean(imps)
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -392,7 +505,9 @@ func matchedAvgImprovement(base, tuned []metrics.TaskStat) float64 {
 }
 
 // Table2Fairness measures the full variant grid against baseline over the
-// configured duration (paper: 800 s interval).
+// configured duration (paper: 800 s interval). Per-seed baselines run once;
+// the full (variant x seed) tuned grid then sweeps concurrently over the
+// shared artifact cache.
 func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, error) {
 	if variants == nil {
 		variants = TechniqueGrid()
@@ -406,16 +521,12 @@ func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, er
 		avg, maxFlow, maxStretch, tput float64
 		tasks                          []metrics.TaskStat
 	}
+	baseRuns, err := cfg.baselines(cfg.DurationSec)
+	if err != nil {
+		return nil, err
+	}
 	bases := map[uint64]baseRes{}
-	for _, seed := range cfg.Seeds {
-		w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
-		base, err := sim.Run(sim.RunConfig{
-			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-			Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for seed, base := range baseRuns {
 		ms, err := metrics.MaxStretch(base.Tasks, isoSec)
 		if err != nil {
 			return nil, err
@@ -429,19 +540,22 @@ func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, er
 		}
 	}
 
-	var rows []FairnessRow
+	grid := make([]sim.RunConfig, 0, len(variants)*len(cfg.Seeds))
 	for _, params := range variants {
-		var mf, mstr, avg, matched, tp []float64
 		for _, seed := range cfg.Seeds {
-			w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
-			tuned, err := sim.Run(sim.RunConfig{
-				Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-				Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Tuned,
-				Params: params, Tuning: cfg.Tuning, TypingOpts: cfg.Typing, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
+			grid = append(grid, cfg.runCfg(sim.Tuned, params, cfg.Tuning, 0, seed, cfg.DurationSec))
+		}
+	}
+	results, err := cfg.sweep(grid)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]FairnessRow, len(variants))
+	for vi, params := range variants {
+		var mf, mstr, avg, matched, tp []float64
+		for si, seed := range cfg.Seeds {
+			tuned := results[vi*len(cfg.Seeds)+si]
 			ms, err := metrics.MaxStretch(tuned.Tasks, isoSec)
 			if err != nil {
 				return nil, err
@@ -453,14 +567,14 @@ func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, er
 			matched = append(matched, matchedAvgImprovement(b.tasks, tuned.Tasks))
 			tp = append(tp, metrics.PercentIncrease(b.tput, float64(tuned.TotalInstructions)))
 		}
-		rows = append(rows, FairnessRow{
+		rows[vi] = FairnessRow{
 			Variant:       params.Name(),
 			MaxFlowPct:    metrics.Mean(mf),
 			MaxStretchPct: metrics.Mean(mstr),
 			AvgTimePct:    metrics.Mean(avg),
 			MatchedAvgPct: metrics.Mean(matched),
 			ThroughputPct: metrics.Mean(tp),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -468,8 +582,11 @@ func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, er
 // IsolationTimes returns per-benchmark baseline isolation runtimes (the t_j
 // of max-stretch).
 func IsolationTimes(cfg Config) (map[string]float64, error) {
-	iso, err := sim.Isolation(cfg.Suite, cfg.Machine, cfg.Cost, cfg.Sched,
-		sim.Baseline, transition.Params{}, tuning.Config{}, cfg.Typing, 1)
+	iso, err := sim.IsolationContext(context.Background(), sim.IsolationSpec{
+		Suite: cfg.Suite, Machine: cfg.Machine, Cost: cfg.Cost, Sched: cfg.Sched,
+		Mode: sim.Baseline, Typing: cfg.Typing, Seed: 1,
+		Workers: cfg.Workers, Cache: cfg.cache(),
+	})
 	if err != nil {
 		return nil, err
 	}

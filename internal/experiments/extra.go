@@ -308,11 +308,11 @@ func AblationPropagation(cfg Config) ([]AblationRow, error) {
 		params.PropagateThroughUntyped = propagate
 		marks := 0
 		for _, b := range cfg.Suite {
-			_, stats, err := sim.PrepareImage(b.Prog, params, cfg.Typing, 0, 1, cfg.Cost)
+			art, err := cfg.artifact(b, params)
 			if err != nil {
 				return nil, err
 			}
-			marks += stats.Marks
+			marks += art.Stats.Marks
 		}
 		name := "propagate"
 		if !propagate {
@@ -341,6 +341,7 @@ func CounterContentionCheck(cfg Config, slots int) (CounterContentionResult, err
 		Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &sched,
 		Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Tuned,
 		Params: BestParams(), Tuning: cfg.Tuning, TypingOpts: cfg.Typing, Seed: cfg.Seeds[0],
+		Cache: cfg.cache(),
 	})
 	if err != nil {
 		return CounterContentionResult{}, err
@@ -433,16 +434,14 @@ func AblationTemporal(cfg Config, resampleCycles uint64) ([]AblationRow, error) 
 	if err != nil {
 		return nil, err
 	}
+	bases, err := cfg.baselines(cfg.DurationSec)
+	if err != nil {
+		return nil, err
+	}
 	var avgs, tputs, mss []float64
 	for _, seed := range cfg.Seeds {
 		w := workload.BuildWorkload(cfg.Suite, cfg.Slots, cfg.QueueLen, seed)
-		base, err := sim.Run(sim.RunConfig{
-			Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
-			Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
+		base := bases[seed]
 		temporal, err := runTemporal(cfg, w, seed, resampleCycles)
 		if err != nil {
 			return nil, err
@@ -474,6 +473,7 @@ func runTemporal(cfg Config, w *workload.Workload, seed uint64, resampleCycles u
 	return sim.RunWithHook(sim.RunConfig{
 		Machine: cfg.Machine, Cost: &cfg.Cost, Sched: &cfg.Sched,
 		Workload: w, DurationSec: cfg.DurationSec, Mode: sim.Baseline, Seed: seed,
+		Cache: cfg.cache(),
 	}, func(k *osched.Kernel, img *exec.Image) exec.MarkHook {
 		return NewTemporalTuner(cfg.Tuning, cfg.Machine, resampleCycles)
 	})

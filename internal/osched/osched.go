@@ -191,6 +191,9 @@ type Kernel struct {
 	// OnExit, when set, fires after a task completes (workloads use it to
 	// start the next job in the slot queue).
 	OnExit func(k *Kernel, t *Task)
+	// OnSample, when set, fires at every throughput sampling event (run
+	// drivers use it for progress reporting).
+	OnSample func(k *Kernel, atPs int64)
 	// TraceBurst, when set, fires after every run burst (diagnostics).
 	TraceBurst func(core int, t *Task, cycles, startPs, endPs int64)
 
@@ -338,12 +341,33 @@ func (k *Kernel) enqueue(t *Task, core int) {
 // Run advances the simulation until the event queue drains or the clock
 // passes untilSec (exclusive horizon; pending later events remain queued).
 func (k *Kernel) Run(untilSec float64) {
+	k.RunCancellable(untilSec, nil)
+}
+
+// cancelCheckEvents is how many events are handled between cancellation
+// checks. Checking per event would put a closure call on the hottest loop in
+// the simulator; a few thousand events span well under a simulated second.
+const cancelCheckEvents = 4096
+
+// RunCancellable advances the simulation up to untilSec simulated seconds,
+// polling cancelled (when non-nil) every few thousand events. It reports
+// whether the run was cut short by cancellation.
+func (k *Kernel) RunCancellable(untilSec float64, cancelled func() bool) bool {
 	horizon := SecToPs(untilSec)
 	k.ensurePeriodicEvents()
+	countdown := cancelCheckEvents
 	for {
 		e, ok := k.events.Peek()
 		if !ok || e.ps > horizon {
-			return
+			return false
+		}
+		if cancelled != nil {
+			if countdown--; countdown <= 0 {
+				countdown = cancelCheckEvents
+				if cancelled() {
+					return true
+				}
+			}
 		}
 		heap.Pop(&k.events)
 		if e.ps > k.nowPs {
@@ -387,6 +411,9 @@ func (k *Kernel) handle(e event) {
 		k.push(k.nowPs+SecToPs(k.Config.BalanceIntervalSec), evBalance, -1)
 	case evSample:
 		k.samples = append(k.samples, Sample{AtPs: k.nowPs, Instructions: k.totalInstr})
+		if k.OnSample != nil {
+			k.OnSample(k, k.nowPs)
+		}
 		k.push(k.nowPs+SecToPs(k.Config.SampleIntervalSec), evSample, -1)
 	}
 }

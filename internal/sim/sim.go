@@ -10,18 +10,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"phasetune/internal/amp"
-	"phasetune/internal/cfg"
 	"phasetune/internal/exec"
-	"phasetune/internal/instrument"
 	"phasetune/internal/metrics"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
-	"phasetune/internal/prog"
 	"phasetune/internal/rng"
-	"phasetune/internal/summarize"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
 	"phasetune/internal/workload"
@@ -78,6 +75,25 @@ type RunConfig struct {
 	TypingError float64
 	// Seed drives workload process seeds and error injection.
 	Seed uint64
+	// Cache, when set, serves prepared images from the shared artifact
+	// cache instead of re-running the static pipeline per run.
+	Cache *ImageCache
+	// Events, when set, receives per-run progress callbacks.
+	Events Events
+}
+
+// Events holds optional per-run observation hooks. Hooks are invoked
+// synchronously from the executing run's goroutine; when one Events value
+// is shared by concurrent runs (a sweep), hooks from different runs fire
+// concurrently and must be safe for concurrent use.
+type Events struct {
+	// OnImage fires once per distinct benchmark after its image is ready.
+	// cached reports whether the image came out of the artifact cache
+	// without running the static pipeline.
+	OnImage func(benchmark string, stats ImageStats, cached bool)
+	// OnProgress fires at every throughput sampling event with the current
+	// simulated time.
+	OnProgress func(simulatedSec float64)
 }
 
 // Result is the outcome of a run.
@@ -108,63 +124,31 @@ type ImageStats struct {
 	EffectiveK int
 }
 
-// PrepareImage runs the full static pipeline for one program under one
-// technique: CFGs -> typing (with optional error injection) -> summarization
-// -> transition plan -> instrumentation -> executable image.
-func PrepareImage(p *prog.Program, params transition.Params, topts phase.Options,
-	errFrac float64, errSeed uint64, cm exec.CostModel) (*exec.Image, ImageStats, error) {
-
-	graphs, err := cfg.BuildAll(p)
-	if err != nil {
-		return nil, ImageStats{}, err
-	}
-	cg := cfg.BuildCallGraph(p, graphs)
-	typing, err := phase.ClusterBlocks(p, graphs, topts)
-	if err != nil {
-		return nil, ImageStats{}, err
-	}
-	if errFrac > 0 {
-		typing = typing.InjectError(errFrac, rng.New(errSeed))
-	}
-	var sum *summarize.Summary
-	if params.Technique == transition.Loop {
-		sum = summarize.SummarizeLoops(p, graphs, cg, typing, summarize.DefaultWeights())
-	}
-	plan, err := transition.ComputePlan(p, graphs, cg, typing, sum, params)
-	if err != nil {
-		return nil, ImageStats{}, err
-	}
-	bin, err := instrument.ApplyWithGraphs(p, plan, graphs)
-	if err != nil {
-		return nil, ImageStats{}, err
-	}
-	img, err := exec.NewImage(bin.Prog, bin, cm)
-	if err != nil {
-		return nil, ImageStats{}, err
-	}
-	stats := ImageStats{
-		Marks:         bin.NumMarks(),
-		SpaceOverhead: bin.SpaceOverhead(),
-		OrigBytes:     bin.OrigBytes,
-		NewBytes:      bin.NewBytes,
-		EffectiveK:    typing.K,
-	}
-	return img, stats, nil
-}
-
 // HookFactory builds the mark hook installed on each spawned process.
 type HookFactory func(k *osched.Kernel, img *exec.Image) exec.MarkHook
 
 // Run executes one full workload simulation.
 func Run(cfg RunConfig) (*Result, error) {
-	return RunWithHook(cfg, nil)
+	return RunContext(context.Background(), cfg)
 }
 
-// RunWithHook is Run with a custom per-process hook factory. When factory is
-// nil, Tuned and Overhead modes install the standard tuning runtime and
-// Baseline installs no hook. A non-nil factory overrides the hook choice
-// (used by the temporal-adaptation baseline from the related-work ablation).
+// RunContext is Run with cancellation: the simulation polls ctx while it
+// advances and returns ctx.Err() if it fires mid-run.
+func RunContext(ctx context.Context, cfg RunConfig) (*Result, error) {
+	return RunWithHookContext(ctx, cfg, nil)
+}
+
+// RunWithHook is RunWithHookContext without cancellation.
 func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
+	return RunWithHookContext(context.Background(), cfg, factory)
+}
+
+// RunWithHookContext is RunContext with a custom per-process hook factory.
+// When factory is nil, Tuned and Overhead modes install the standard tuning
+// runtime and Baseline installs no hook. A non-nil factory overrides the
+// hook choice (used by the temporal-adaptation baseline from the
+// related-work ablation).
+func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory) (*Result, error) {
 	machine := cfg.Machine
 	if machine == nil {
 		machine = amp.Quad2Fast2Slow()
@@ -188,7 +172,13 @@ func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
 		topts.MinBlockInstrs = 5
 	}
 
-	// Prepare one image per distinct benchmark.
+	// Prepare one image per distinct benchmark. With a cache, preparation
+	// is a lookup after the first run that needs the same artifact.
+	spec := ImageSpec{
+		Baseline: cfg.Mode == Baseline,
+		Params:   cfg.Params, Typing: topts,
+		ErrFrac: cfg.TypingError, ErrSeed: cfg.Seed ^ 0x5eed,
+	}
 	images := map[*workload.Benchmark]*exec.Image{}
 	res := &Result{Images: map[string]ImageStats{}, DurationSec: cfg.DurationSec}
 	for _, slot := range cfg.Workload.Slots {
@@ -196,27 +186,30 @@ func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
 			if _, ok := images[b]; ok {
 				continue
 			}
-			if cfg.Mode == Baseline {
-				img, err := exec.NewImage(b.Prog, nil, cost)
-				if err != nil {
-					return nil, fmt.Errorf("sim: %s: %w", b.Name(), err)
-				}
-				images[b] = img
-				res.Images[b.Name()] = ImageStats{}
-				continue
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			img, stats, err := PrepareImage(b.Prog, cfg.Params, topts, cfg.TypingError, cfg.Seed^0x5eed, cost)
+			art, cached, err := prepare(cfg.Cache, b.Prog, spec, cost)
 			if err != nil {
 				return nil, fmt.Errorf("sim: %s: %w", b.Name(), err)
 			}
-			images[b] = img
-			res.Images[b.Name()] = stats
+			images[b] = art.Image
+			res.Images[b.Name()] = art.Stats
+			if cfg.Events.OnImage != nil {
+				cfg.Events.OnImage(b.Name(), art.Stats, cached)
+			}
 		}
 	}
 
 	kernel, err := osched.NewKernel(machine, cost, sched)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Events.OnProgress != nil {
+		onProgress := cfg.Events.OnProgress
+		kernel.OnSample = func(k *osched.Kernel, atPs int64) {
+			onProgress(osched.PsToSec(atPs))
+		}
 	}
 
 	tcfg := cfg.Tuning
@@ -263,7 +256,9 @@ func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
 		spawnNext(kernel, slot)
 	}
 
-	kernel.Run(cfg.DurationSec)
+	if kernel.RunCancellable(cfg.DurationSec, func() bool { return ctx.Err() != nil }) {
+		return nil, ctx.Err()
+	}
 
 	for _, t := range kernel.Tasks() {
 		stat := metrics.TaskStat{
@@ -305,6 +300,24 @@ type IsolationResult struct {
 	MarksExecuted uint64
 }
 
+// IsolationSpec configures an isolation campaign: every suite benchmark
+// runs alone on the machine.
+type IsolationSpec struct {
+	Suite   []*workload.Benchmark
+	Machine *amp.Machine
+	Cost    exec.CostModel
+	Sched   osched.Config
+	Mode    Mode
+	Params  transition.Params
+	Tuning  tuning.Config
+	Typing  phase.Options
+	Seed    uint64
+	// Workers bounds concurrent isolation runs (<=1 means sequential).
+	Workers int
+	// Cache, when set, serves prepared images.
+	Cache *ImageCache
+}
+
 // Isolation runs each benchmark alone on the machine and returns per-name
 // results. mode selects baseline (for t_j reference times) or tuned (for
 // Table 1 switch counts).
@@ -312,54 +325,81 @@ func Isolation(suite []*workload.Benchmark, machine *amp.Machine, cost exec.Cost
 	sched osched.Config, mode Mode, params transition.Params, tcfg tuning.Config,
 	topts phase.Options, seed uint64) (map[string]IsolationResult, error) {
 
+	return IsolationContext(context.Background(), IsolationSpec{
+		Suite: suite, Machine: machine, Cost: cost, Sched: sched, Mode: mode,
+		Params: params, Tuning: tcfg, Typing: topts, Seed: seed,
+	})
+}
+
+// IsolationContext runs the isolation campaign with cancellation, fanning
+// the suite across spec.Workers goroutines. Results are independent of the
+// worker count: each benchmark's run is a pure function of the spec.
+func IsolationContext(ctx context.Context, spec IsolationSpec) (map[string]IsolationResult, error) {
+	machine := spec.Machine
 	if machine == nil {
 		machine = amp.Quad2Fast2Slow()
 	}
+	topts := spec.Typing
 	if topts.K == 0 {
 		topts.K = 2
 	}
 	if topts.MinBlockInstrs == 0 {
 		topts.MinBlockInstrs = 5
 	}
-	switch mode {
+	tcfg := spec.Tuning
+	switch spec.Mode {
 	case Tuned:
 		tcfg.Mode = tuning.ModeTune
 	case Overhead:
 		tcfg.Mode = tuning.ModeAllCores
 	}
 
-	out := map[string]IsolationResult{}
-	for _, b := range suite {
-		var img *exec.Image
-		var err error
-		if mode == Baseline {
-			img, err = exec.NewImage(b.Prog, nil, cost)
-		} else {
-			img, _, err = PrepareImage(b.Prog, params, topts, 0, seed, cost)
-		}
+	results := make([]IsolationResult, len(spec.Suite))
+	runOne := func(b *workload.Benchmark) (IsolationResult, error) {
+		art, _, err := prepare(spec.Cache, b.Prog, ImageSpec{
+			Baseline: spec.Mode == Baseline,
+			Params:   spec.Params, Typing: topts, ErrSeed: spec.Seed,
+		}, spec.Cost)
 		if err != nil {
-			return nil, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
+			return IsolationResult{}, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
 		}
-		kernel, err := osched.NewKernel(machine, cost, sched)
+		img := art.Image
+		kernel, err := osched.NewKernel(machine, spec.Cost, spec.Sched)
 		if err != nil {
-			return nil, err
+			return IsolationResult{}, err
 		}
 		var hook exec.MarkHook
-		if mode != Baseline {
+		if spec.Mode != Baseline {
 			hook = tuning.NewTuner(tcfg, machine, kernel.Hardware, img)
 		}
-		p := exec.NewProcess(kernel.NextPID(), img, &kernel.Cost, seed^uint64(len(b.Name())), hook)
+		p := exec.NewProcess(kernel.NextPID(), img, &kernel.Cost, spec.Seed^uint64(len(b.Name())), hook)
 		task := kernel.Spawn(p, b.Name(), 0, 0)
 		if err := kernel.RunUntilDone(1e6); err != nil {
-			return nil, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
+			return IsolationResult{}, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
 		}
-		out[b.Name()] = IsolationResult{
+		return IsolationResult{
 			RuntimeSec:    osched.PsToSec(task.CompletionPs - task.ArrivalPs),
 			Migrations:    task.Migrations,
 			Cycles:        p.Counters.Cycles,
 			Instructions:  p.Counters.Instructions,
 			MarksExecuted: p.MarksExecuted,
+		}, nil
+	}
+
+	err := ForEach(ctx, len(spec.Suite), spec.Workers, func(i int) error {
+		r, err := runOne(spec.Suite[i])
+		if err != nil {
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]IsolationResult, len(spec.Suite))
+	for i, b := range spec.Suite {
+		out[b.Name()] = results[i]
 	}
 	return out, nil
 }

@@ -21,15 +21,30 @@
 //     metrics (throughput, max-flow, max-stretch, average process time),
 //     and one experiment driver per table and figure in the evaluation.
 //
+// The public API is organized around three layers:
+//
+//   - the staged static pipeline (Analyze -> Analysis.Instrument) producing
+//     cacheable Artifact values, with a content-keyed ImageCache so repeated
+//     preparations of the same (program, technique, typing) are free;
+//   - Session, a configured environment built with functional options
+//     (NewSession(WithMachine(...), WithCost(...), ...)) whose RunContext
+//     executes one cancellable run through the session cache;
+//   - Session.Sweep, which fans a grid of RunSpecs across a bounded worker
+//     pool with deterministic, input-ordered results.
+//
 // The quickest way in:
 //
 //	suite, _ := phasetune.Suite()
 //	w := phasetune.NewWorkload(suite, 18, 256, 1)
-//	base, _ := phasetune.Run(phasetune.RunConfig{Workload: w, DurationSec: 400})
-//	tuned, _ := phasetune.Run(phasetune.RunConfig{
-//	    Workload: w, DurationSec: 400, Mode: phasetune.Tuned,
-//	    Params: phasetune.BestParams(), Tuning: phasetune.DefaultTuning(),
+//	sess := phasetune.NewSession()
+//	results, _ := sess.Sweep(ctx, []phasetune.RunSpec{
+//	    {Workload: w, DurationSec: 400, Seed: 7},
+//	    {Workload: w, DurationSec: 400, Seed: 7, Mode: phasetune.Tuned,
+//	     Params: phasetune.BestParams()},
 //	})
+//
+// The one-shot Run and Instrument helpers remain as thin wrappers over the
+// same machinery.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-versus-measured results.
@@ -125,6 +140,10 @@ func DefaultTyping() TypingOptions { return phase.Options{K: 2, MinBlockInstrs: 
 // Instrument runs the full static pipeline — CFG construction, phase typing,
 // summarization, transition marking, binary rewriting — and returns an
 // executable image plus instrumentation statistics.
+//
+// It is a one-shot compatibility wrapper over the staged API: Analyze
+// followed by Analysis.Instrument, with no caching. Repeated preparations
+// should go through a Session (or an ImageCache) instead.
 func Instrument(p *Program, params TechniqueParams, topts TypingOptions, cost CostModel) (*Image, ImageStats, error) {
 	return sim.PrepareImage(p, params, topts, 0, 1, cost)
 }
@@ -187,7 +206,9 @@ func NewWorkload(suite []*Benchmark, slots, queueLen int, seed uint64) *Workload
 	return workload.BuildWorkload(suite, slots, queueLen, seed)
 }
 
-// Run executes one workload simulation.
+// Run executes one workload simulation. It is a compatibility wrapper: new
+// code should prefer Session.RunContext, which adds cancellation, progress
+// hooks, and artifact caching (see the migration note in README.md).
 func Run(cfg RunConfig) (*RunResult, error) { return sim.Run(cfg) }
 
 // Metrics.

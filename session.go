@@ -1,0 +1,150 @@
+package phasetune
+
+import (
+	"context"
+
+	"phasetune/internal/sim"
+)
+
+// Session is a configured simulation environment: machine, cost model,
+// scheduler, typing and tuning defaults, a shared artifact cache, and a
+// worker budget. Sessions are cheap to create, and one session can execute
+// any number of runs and sweeps — every image prepared along the way lands
+// in the session cache and is reused by later runs, so a 15-benchmark
+// workload is instrumented once per technique across an entire campaign.
+//
+// A Session is safe for concurrent use.
+type Session struct {
+	machine *Machine
+	cost    CostModel
+	sched   SchedulerConfig
+	typing  TypingOptions
+	tuning  TuningConfig
+	cache   *ImageCache
+	workers int
+	events  Events
+}
+
+// Events holds optional per-run observation hooks (see sim.Events).
+type Events = sim.Events
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithMachine sets the hardware (default: the paper's quad AMP).
+func WithMachine(m *Machine) SessionOption { return func(s *Session) { s.machine = m } }
+
+// WithCost sets the cost model (default: DefaultCost).
+func WithCost(c CostModel) SessionOption { return func(s *Session) { s.cost = c } }
+
+// WithScheduler sets the scheduler configuration (default: DefaultScheduler).
+func WithScheduler(sc SchedulerConfig) SessionOption { return func(s *Session) { s.sched = sc } }
+
+// WithTyping sets the static typing options (default: DefaultTyping).
+func WithTyping(t TypingOptions) SessionOption {
+	return func(s *Session) { s.typing = withTypingDefaults(t) }
+}
+
+// WithTuning sets the default runtime tuning configuration (default:
+// DefaultTuning). Individual runs may override it via RunSpec.Tuning.
+func WithTuning(t TuningConfig) SessionOption { return func(s *Session) { s.tuning = t } }
+
+// WithCache shares an existing artifact cache (default: a fresh cache).
+// Pass the same cache to several sessions to share prepared images across
+// machines — images depend only on program content and the cost model.
+func WithCache(c *ImageCache) SessionOption { return func(s *Session) { s.cache = c } }
+
+// WithWorkers bounds the sweep worker pool (default: GOMAXPROCS).
+func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
+
+// WithEvents installs per-run progress hooks.
+func WithEvents(e Events) SessionOption { return func(s *Session) { s.events = e } }
+
+// NewSession builds a session from functional options:
+//
+//	sess := phasetune.NewSession(
+//	    phasetune.WithMachine(phasetune.QuadAMP()),
+//	    phasetune.WithTuning(phasetune.DefaultTuning()),
+//	)
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{
+		machine: QuadAMP(),
+		cost:    DefaultCost(),
+		sched:   DefaultScheduler(),
+		typing:  DefaultTyping(),
+		tuning:  DefaultTuning(),
+		cache:   NewImageCache(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Cache returns the session's artifact cache (for stats or sharing).
+func (s *Session) Cache() *ImageCache { return s.cache }
+
+// CacheStats reports the session cache's hit/miss counters.
+func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
+
+// RunSpec configures one run within a session. Zero values inherit the
+// session defaults; only what varies per run needs to be set.
+type RunSpec struct {
+	// Workload supplies the slot queues (required).
+	Workload *Workload
+	// DurationSec is the run length in simulated seconds.
+	DurationSec float64
+	// Mode selects baseline/tuned/overhead (default Baseline).
+	Mode RunMode
+	// Params is the marking technique (used when Mode != Baseline).
+	Params TechniqueParams
+	// Tuning overrides the session tuning configuration when non-nil.
+	Tuning *TuningConfig
+	// TypingError injects clustering error (Fig. 7 methodology).
+	TypingError float64
+	// Seed drives workload process seeds and error injection.
+	Seed uint64
+}
+
+// runConfig lowers a spec onto the session environment.
+func (s *Session) runConfig(spec RunSpec) sim.RunConfig {
+	tcfg := s.tuning
+	if spec.Tuning != nil {
+		tcfg = *spec.Tuning
+	}
+	cost := s.cost
+	sched := s.sched
+	return sim.RunConfig{
+		Machine: s.machine, Cost: &cost, Sched: &sched,
+		Workload:    spec.Workload,
+		DurationSec: spec.DurationSec,
+		Mode:        spec.Mode,
+		Params:      spec.Params,
+		Tuning:      tcfg,
+		TypingOpts:  s.typing,
+		TypingError: spec.TypingError,
+		Seed:        spec.Seed,
+		Cache:       s.cache,
+		Events:      s.events,
+	}
+}
+
+// RunContext executes one run with cancellation: the simulation polls ctx
+// as it advances and returns ctx.Err() if it fires mid-run. Identical specs
+// on identical sessions give bit-identical results, whether or not the
+// session cache already holds the images.
+func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	return sim.RunContext(ctx, s.runConfig(spec))
+}
+
+// Run is RunContext without cancellation.
+func (s *Session) Run(spec RunSpec) (*RunResult, error) {
+	return s.RunContext(context.Background(), spec)
+}
+
+// Instrument prepares one program's image under the session environment,
+// through the session cache. It is the session-scoped equivalent of the
+// package-level Instrument helper.
+func (s *Session) Instrument(p *Program, params TechniqueParams) (*Artifact, error) {
+	return s.cache.Get(p, ImageSpec{Params: params, Typing: s.typing}, s.cost)
+}
