@@ -1,12 +1,17 @@
 // Command ampsim runs one workload on the simulated asymmetric multicore
-// under the baseline scheduler, phase-based tuning, or overhead-measurement
-// mode, and prints the run's metrics.
+// under a selected placement policy — the stock scheduler, the paper's
+// static phase marks, the online dynamic detector, the perfect-knowledge
+// oracle, or overhead-measurement mode — and prints the run's metrics.
 //
 // Usage:
 //
-//	ampsim [-mode baseline|tuned|overhead] [-slots 18] [-duration 400]
-//	       [-seed 5] [-machine quad|tri] [-delta 0.06] [-technique loop]
-//	       [-min 45] [-progress]
+//	ampsim [-policy none|static|dynamic|oracle] [-mode overhead]
+//	       [-online greedy|probe] [-slots 18] [-duration 400] [-seed 5]
+//	       [-machine quad|tri] [-delta 0.06] [-technique loop] [-min 45]
+//	       [-window 8000] [-progress]
+//
+// -policy selects the placement policy (default static). -mode overhead is
+// the legacy all-cores overhead methodology and overrides -policy.
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "tuned", "baseline, tuned, or overhead")
+	policy := flag.String("policy", "static", "placement policy: none, static, dynamic, or oracle")
+	mode := flag.String("mode", "", "legacy mode override: baseline, tuned, overhead")
+	onlinePolicy := flag.String("online", "probe", "dynamic reassignment policy: greedy or probe")
 	slots := flag.Int("slots", 18, "workload slots")
 	duration := flag.Float64("duration", 400, "duration in simulated seconds")
 	seed := flag.Uint64("seed", 5, "workload seed")
@@ -31,38 +38,69 @@ func main() {
 	delta := flag.Float64("delta", 0.06, "IPC threshold")
 	technique := flag.String("technique", "loop", "bb, interval, or loop")
 	minSize := flag.Int("min", 45, "minimum section size")
+	window := flag.Uint64("window", 0, "online detection window in instructions (0 = default)")
 	progress := flag.Bool("progress", false, "print simulated-time progress")
 	flag.Parse()
 
-	if err := run(*mode, *slots, *duration, *seed, *machineFlag, *delta, *technique, *minSize, *progress); err != nil {
+	if err := run(options{
+		policy: *policy, mode: *mode, onlinePolicy: *onlinePolicy,
+		slots: *slots, duration: *duration, seed: *seed,
+		machine: *machineFlag, delta: *delta, technique: *technique,
+		minSize: *minSize, window: *window, progress: *progress,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modeName string, slots int, duration float64, seed uint64, machineName string, delta float64, technique string, minSize int, progress bool) error {
+type options struct {
+	policy, mode, onlinePolicy string
+	slots                      int
+	duration                   float64
+	seed                       uint64
+	machine, technique         string
+	delta                      float64
+	minSize                    int
+	window                     uint64
+	progress                   bool
+}
+
+func run(o options) error {
 	var machine *phasetune.Machine
-	switch machineName {
+	switch o.machine {
 	case "quad":
 		machine = phasetune.QuadAMP()
 	case "tri":
 		machine = phasetune.ThreeCoreAMP()
 	default:
-		return fmt.Errorf("unknown machine %q", machineName)
+		return fmt.Errorf("unknown machine %q", o.machine)
 	}
-	var mode phasetune.RunMode
-	switch modeName {
+
+	spec := phasetune.RunSpec{DurationSec: o.duration, Seed: o.seed}
+	label := ""
+	switch o.mode {
+	case "":
+		pol, err := phasetune.ParsePolicy(o.policy)
+		if err != nil {
+			return err
+		}
+		spec.Policy = pol
+		label = pol.String()
 	case "baseline":
-		mode = phasetune.Baseline
+		spec.Policy = phasetune.PolicyNone
+		label = "baseline"
 	case "tuned":
-		mode = phasetune.Tuned
+		spec.Policy = phasetune.PolicyStatic
+		label = "tuned"
 	case "overhead":
-		mode = phasetune.Overhead
+		spec.Mode = phasetune.Overhead
+		label = "overhead"
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+
 	var tech transition.Technique
-	switch technique {
+	switch o.technique {
 	case "bb":
 		tech = transition.BasicBlock
 	case "interval":
@@ -70,7 +108,10 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 	case "loop":
 		tech = transition.Loop
 	default:
-		return fmt.Errorf("unknown technique %q", technique)
+		return fmt.Errorf("unknown technique %q", o.technique)
+	}
+	spec.Params = phasetune.TechniqueParams{
+		Technique: tech, MinSize: o.minSize, PropagateThroughUntyped: true,
 	}
 
 	cost := phasetune.DefaultCost()
@@ -78,12 +119,26 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 	if err != nil {
 		return err
 	}
-	w := phasetune.NewWorkload(suite, slots, 256, seed)
+	spec.Workload = phasetune.NewWorkload(suite, o.slots, 256, o.seed)
+
 	tcfg := phasetune.DefaultTuning()
-	tcfg.Delta = delta
+	tcfg.Delta = o.delta
+	ocfg := phasetune.DefaultOnline()
+	ocfg.Delta = o.delta
+	if o.window > 0 {
+		ocfg.WindowInstrs = o.window
+	}
+	switch o.onlinePolicy {
+	case "greedy":
+		ocfg.Policy = phasetune.OnlineGreedy
+	case "probe":
+		ocfg.Policy = phasetune.OnlineProbe
+	default:
+		return fmt.Errorf("unknown online policy %q", o.onlinePolicy)
+	}
 
 	var events phasetune.Events
-	if progress {
+	if o.progress {
 		events.OnProgress = func(simSec float64) {
 			fmt.Fprintf(os.Stderr, "\rt=%.0fs", simSec)
 		}
@@ -104,18 +159,11 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 		phasetune.WithMachine(machine),
 		phasetune.WithCost(cost),
 		phasetune.WithTuning(tcfg),
+		phasetune.WithOnline(ocfg),
 		phasetune.WithEvents(events),
 	)
-	res, err := sess.RunContext(ctx, phasetune.RunSpec{
-		Workload:    w,
-		DurationSec: duration,
-		Mode:        mode,
-		Params: phasetune.TechniqueParams{
-			Technique: tech, MinSize: minSize, PropagateThroughUntyped: true,
-		},
-		Seed: seed,
-	})
-	if progress {
+	res, err := sess.RunContext(ctx, spec)
+	if o.progress {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
@@ -127,13 +175,16 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 		migrations += t.Migrations
 		marks += t.MarksExecuted
 	}
-	tput := metrics.ThroughputOver(res.Samples, 0, duration)
+	tput := metrics.ThroughputOver(res.Samples, 0, o.duration)
 
 	t := textplot.NewTable("metric", "value")
 	t.AddRow("machine", machine.Name)
-	t.AddRow("mode", mode.String())
-	t.AddRow("slots", fmt.Sprintf("%d", slots))
-	t.AddRow("duration", fmt.Sprintf("%.0fs", duration))
+	t.AddRow("policy", label)
+	if label == "dynamic" {
+		t.AddRow("online policy", ocfg.Policy.String())
+	}
+	t.AddRow("slots", fmt.Sprintf("%d", o.slots))
+	t.AddRow("duration", fmt.Sprintf("%.0fs", o.duration))
 	t.AddRow("jobs spawned", fmt.Sprintf("%d", len(res.Tasks)))
 	t.AddRow("jobs completed", fmt.Sprintf("%d", metrics.CompletedCount(res.Tasks)))
 	t.AddRow("avg process time", fmt.Sprintf("%.2fs", metrics.AvgProcessTime(res.Tasks)))
@@ -142,6 +193,13 @@ func run(modeName string, slots int, duration float64, seed uint64, machineName 
 	t.AddRow("core switches", fmt.Sprintf("%d", migrations))
 	t.AddRow("marks executed", fmt.Sprintf("%d", marks))
 	t.AddRow("counter deferrals", fmt.Sprintf("%d", res.CounterDefers))
+	if res.Online != nil {
+		t.AddRow("detection windows", fmt.Sprintf("%d (+%d discarded)", res.Online.Windows, res.Online.Discarded))
+		t.AddRow("phases detected", fmt.Sprintf("%d", res.Online.Phases))
+		t.AddRow("probe decisions", fmt.Sprintf("%d", res.Online.Decisions))
+		t.AddRow("monitor cycles", fmt.Sprintf("%d", res.Online.ChargedCycles))
+		t.AddRow("online switches", fmt.Sprintf("%d", res.Online.Switches))
+	}
 	fmt.Print(t.String())
 	return nil
 }

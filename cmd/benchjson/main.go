@@ -1,0 +1,187 @@
+// Command benchjson runs the repository's headline performance benchmarks
+// and writes them as machine-readable JSON (default BENCH_sweep.json), so
+// the performance trajectory is tracked PR-over-PR instead of living only
+// in transient `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_sweep.json] [-reps 3]
+//
+// Three timings are recorded, mirroring the root bench harness:
+//
+//   - grid_sequential: the legacy one-shot Run loop over the technique
+//     grid (no artifact sharing);
+//   - grid_sweep: the identical grid through Session.Sweep (bounded worker
+//     pool + shared image cache);
+//   - workload_second_baseline / workload_second_dynamic: the cost of
+//     simulating one loaded second under the stock scheduler and under the
+//     online phase detector (the dynamic subsystem's overhead on the
+//     simulator hot path).
+//
+// Each benchmark runs -reps times and reports the minimum (the standard
+// noise-rejection choice for wall-clock microbenchmarks).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"phasetune"
+)
+
+// Benchmark is one recorded measurement.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Reps    int                `json:"reps"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file format (schema phasetune-bench/v1).
+type Report struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	MaxProcs   int                `json:"gomaxprocs"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sweep.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
+	flag.Parse()
+	if err := run(*out, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// timeMin runs f reps times and returns the minimum wall-clock duration.
+func timeMin(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// gridSpecs mirrors the root sweep benchmark: 3 technique variants x 2
+// seeds, 4-slot workloads, 10 simulated seconds.
+func gridSpecs(suite []*phasetune.Benchmark) []phasetune.RunSpec {
+	variants := []phasetune.TechniqueParams{
+		phasetune.BestParams(),
+		{Technique: phasetune.BasicBlock, MinSize: 15, PropagateThroughUntyped: true},
+		{Technique: phasetune.Interval, MinSize: 45, PropagateThroughUntyped: true},
+	}
+	var specs []phasetune.RunSpec
+	for _, seed := range []uint64{1, 2} {
+		w := phasetune.NewWorkload(suite, 4, 8, seed)
+		for _, params := range variants {
+			specs = append(specs, phasetune.RunSpec{
+				Workload: w, DurationSec: 10, Mode: phasetune.Tuned,
+				Params: params, Seed: seed,
+			})
+		}
+	}
+	return specs
+}
+
+func run(out string, reps int) error {
+	suite, err := phasetune.Suite()
+	if err != nil {
+		return err
+	}
+	specs := gridSpecs(suite)
+	report := Report{
+		Schema:    "phasetune-bench/v1",
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Derived:   map[string]float64{},
+	}
+
+	seq, err := timeMin(reps, func() error {
+		for _, spec := range specs {
+			if _, err := phasetune.Run(phasetune.RunConfig{
+				Workload: spec.Workload, DurationSec: spec.DurationSec,
+				Mode: spec.Mode, Params: spec.Params,
+				Tuning:     phasetune.DefaultTuning(),
+				TypingOpts: phasetune.DefaultTyping(), Seed: spec.Seed,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, Benchmark{
+		Name: "grid_sequential", NsPerOp: seq.Nanoseconds(), Reps: reps,
+	})
+
+	sess := phasetune.NewSession()
+	swp, err := timeMin(reps, func() error {
+		_, err := sess.Sweep(context.Background(), specs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	stats := sess.CacheStats()
+	report.Benchmarks = append(report.Benchmarks, Benchmark{
+		Name: "grid_sweep", NsPerOp: swp.Nanoseconds(), Reps: reps,
+		Metrics: map[string]float64{
+			"pipeline_runs": float64(stats.Misses),
+			"cache_hits":    float64(stats.Hits),
+		},
+	})
+	if swp > 0 {
+		report.Derived["sweep_speedup"] = float64(seq) / float64(swp)
+	}
+
+	w := phasetune.NewWorkload(suite, 8, 64, 1)
+	for _, bench := range []struct {
+		name   string
+		policy phasetune.Policy
+	}{
+		{"workload_second_baseline", phasetune.PolicyNone},
+		{"workload_second_dynamic", phasetune.PolicyDynamic},
+	} {
+		sess := phasetune.NewSession()
+		d, err := timeMin(reps, func() error {
+			_, err := sess.Run(phasetune.RunSpec{
+				Workload: w, DurationSec: 1, Seed: 1, Policy: bench.policy,
+			})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, Benchmark{
+			Name: bench.name, NsPerOp: d.Nanoseconds(), Reps: reps,
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks, sweep speedup %.2fx)\n",
+		out, len(report.Benchmarks), report.Derived["sweep_speedup"])
+	return nil
+}

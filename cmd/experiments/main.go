@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
-//	             switchcost|typing|threecore|ablations]
+//	             switchcost|typing|threecore|showdown|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
 //	            [-workers N] [-cachestats]
 //
@@ -80,6 +80,7 @@ func main() {
 		{"switchcost", switchcost},
 		{"typing", typing},
 		{"threecore", threecore},
+		{"showdown", showdown},
 		{"ablations", ablations},
 	} {
 		if all || *runFlag == exp.name {
@@ -294,6 +295,38 @@ func threecore(cfg experiments.Config) error {
 	}
 	fmt.Printf("avg process time decrease: %+.2f%% (matched %+.2f%%), throughput: %+.2f%%\n",
 		r.AvgTimePct, r.MatchedAvgPct, r.ThroughputPct)
+	return nil
+}
+
+func showdown(cfg experiments.Config) error {
+	header("§V showdown — static marks vs dynamic online detection vs oracle (paper's central claim)")
+	rows, err := experiments.Showdown(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("machine", "policy", "tput", "tput%", "avg-time%", "matched%",
+		"switches", "marks", "windows", "monitor%", "defers")
+	for _, r := range rows {
+		t.AddRow(r.Machine, r.Policy.String(),
+			fmt.Sprintf("%.4g", r.Throughput),
+			fmt.Sprintf("%+.2f", r.ThroughputPct),
+			fmt.Sprintf("%+.2f", r.AvgTimePct),
+			fmt.Sprintf("%+.2f", r.MatchedAvgPct),
+			fmt.Sprintf("%.0f", r.Switches),
+			fmt.Sprintf("%.0f", r.MarksExecuted),
+			fmt.Sprintf("%.0f", r.MonitorWindows),
+			fmt.Sprintf("%.3f", r.MonitorPct),
+			fmt.Sprintf("%.0f", r.CounterDefers))
+	}
+	fmt.Print(t.String())
+
+	fmt.Println()
+	cc, err := experiments.ShowdownCounterContention(cfg, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dynamic/probe with 4 bounded event sets: %d deferrals, %d windows, tput %+.2f%%\n",
+		cc.Defers, cc.Windows, cc.ThroughputPct)
 	return nil
 }
 

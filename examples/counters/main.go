@@ -3,6 +3,11 @@
 // machine and shows the IPC signal that drives Algorithm 2 — memory-bound
 // code has visibly higher IPC on the slow cores, compute-bound code does
 // not, and the Select threshold turns that into a core assignment.
+//
+// Measurement goes through the staged Session API: images are prepared once
+// through the session cache and Session.MeasureIPC runs them isolated on
+// each core type, so the example exercises the same pipeline every run and
+// sweep uses.
 package main
 
 import (
@@ -10,15 +15,11 @@ import (
 	"log"
 
 	"phasetune"
-	"phasetune/internal/amp"
-	"phasetune/internal/exec"
-	"phasetune/internal/perfcnt"
 )
 
 func main() {
 	machine := phasetune.QuadAMP()
-	cost := phasetune.DefaultCost()
-	pars := exec.ParamsFor(cost, machine)
+	sess := phasetune.NewSession(phasetune.WithMachine(machine))
 
 	build := func(name string, mix phasetune.BlockMix) *phasetune.Program {
 		b := phasetune.NewProgram(name)
@@ -35,17 +36,9 @@ func main() {
 	fmt.Printf("%-10s %12s %12s %10s\n", "phase", "IPC fast", "IPC slow", "gap")
 	results := map[string][]float64{}
 	for _, prog := range []*phasetune.Program{compute, memory} {
-		img, err := exec.NewImage(prog, nil, cost)
+		ipcs, err := sess.MeasureIPC(prog, 42)
 		if err != nil {
 			log.Fatal(err)
-		}
-		var ipcs []float64
-		for t := range pars {
-			p := exec.NewProcess(1, img, &cost, 42, nil)
-			es := perfcnt.Start(&p.Counters)
-			p.RunIsolated(&pars[t], 0, machine.L2s[0].SizeKB, 0)
-			instrs, cycles := es.Stop(&p.Counters)
-			ipcs = append(ipcs, perfcnt.IPC(instrs, cycles))
 		}
 		results[prog.Name] = ipcs
 		fmt.Printf("%-10s %12.3f %12.3f %10.3f\n", prog.Name, ipcs[0], ipcs[1], ipcs[1]-ipcs[0])
@@ -57,7 +50,6 @@ func main() {
 		target := phasetune.Select(machine, ipcs, delta)
 		fmt.Printf("  %-10s -> %s cores\n", name, machine.Types[target].Name)
 	}
-	_ = amp.FastType
 }
 
 func mustBuild(b *phasetune.ProgramBuilder) *phasetune.Program {

@@ -29,6 +29,8 @@ type blockInfo struct {
 	// instrs is the retired-instruction count (phase marks excluded; they
 	// are charged via CostModel.MarkInstrs).
 	instrs int64
+	// memRefs is the retired memory-reference count per execution.
+	memRefs int64
 	// l1MissRefs is the expected number of references per execution that
 	// miss the private L1 and reach the shared cache.
 	l1MissRefs float64
@@ -121,6 +123,7 @@ func summarizeBlock(b *cfg.Block, g *cfg.Graph, cm CostModel) (blockInfo, error)
 			info.syscall = true
 		}
 	}
+	info.memRefs = int64(memRefs)
 	info.l1MissRefs = float64(memRefs) * info.profile.L1MissFraction()
 
 	last := b.Instrs[len(b.Instrs)-1]
@@ -166,6 +169,33 @@ func fallBlock(g *cfg.Graph, b *cfg.Block) (int, bool) {
 		return 0, false
 	}
 	return g.BlockOf(b.End), true
+}
+
+// BlockIPC computes a block's isolated IPC on a core type via the same cost
+// arithmetic the interpreter uses (phase marks excluded). It is the static
+// per-block performance estimate behind the typing-accuracy oracle and the
+// oracle placement policy.
+func BlockIPC(b *cfg.Block, par *CoreParams, cm CostModel, shareKB float64) float64 {
+	cycles := 0.0
+	instrs := 0
+	memRefs := 0
+	prof := phase.BlockProfile(b)
+	for _, in := range b.Instrs {
+		if in.Op == isa.PhaseMark {
+			continue
+		}
+		cycles += cm.CPI[in.Op]
+		instrs++
+		if in.Op.IsMemory() {
+			memRefs++
+		}
+	}
+	l1miss := float64(memRefs) * prof.L1MissFraction()
+	cycles += l1miss * (par.L2HitCycles + prof.MissRatio(shareKB)*par.MemCycles)
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(instrs) / cycles
 }
 
 // MarkType returns the phase type of a mark ID.

@@ -133,6 +133,9 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 		ic = 1
 	}
 	p.Counters.Add(uint64(info.instrs), uint64(ic))
+	if info.memRefs > 0 {
+		p.Counters.AddMem(uint64(info.memRefs))
+	}
 	res.Cycles += ic
 
 	// Control flow.

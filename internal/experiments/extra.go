@@ -146,7 +146,7 @@ func TypingAccuracy(cfg Config, ipcThreshold float64) (TypingAccuracyResult, err
 				}
 				var vals []float64
 				for t := range pars {
-					vals = append(vals, blockIPC(blk, &pars[t], cfg.Cost, cfg.Machine.L2s[0].SizeKB))
+					vals = append(vals, exec.BlockIPC(blk, &pars[t], cfg.Cost, cfg.Machine.L2s[0].SizeKB))
 				}
 				ipc[key] = vals
 			}
@@ -172,31 +172,6 @@ func TypingAccuracy(cfg Config, ipcThreshold float64) (TypingAccuracyResult, err
 		Agreement: float64(totalAgree) / float64(totalCommon),
 		Blocks:    totalCommon,
 	}, nil
-}
-
-// blockIPC computes a block's isolated IPC on a core type via the same cost
-// arithmetic the interpreter uses.
-func blockIPC(blk *cfg.Block, par *exec.CoreParams, cost exec.CostModel, shareKB float64) float64 {
-	cycles := 0.0
-	instrs := 0
-	memRefs := 0
-	prof := phase.BlockProfile(blk)
-	for _, in := range blk.Instrs {
-		if in.Op == isa.PhaseMark {
-			continue
-		}
-		cycles += cost.CPI[in.Op]
-		instrs++
-		if in.Op.IsMemory() {
-			memRefs++
-		}
-	}
-	l1miss := float64(memRefs) * prof.L1MissFraction()
-	cycles += l1miss * (par.L2HitCycles + prof.MissRatio(shareKB)*par.MemCycles)
-	if cycles <= 0 {
-		return 0
-	}
-	return float64(instrs) / cycles
 }
 
 func cfg2graphs(p *prog.Program) ([]*cfg.Graph, error) { return cfg.BuildAll(p) }

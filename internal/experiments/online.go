@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/metrics"
+	"phasetune/internal/online"
+	"phasetune/internal/sim"
+	"phasetune/internal/transition"
+	"phasetune/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// §V showdown — static marks vs dynamic online detection vs oracle.
+//
+// The paper's central claim is comparative: static phase marks beat purely
+// dynamic detection because they avoid runtime monitoring and misprediction,
+// and both beat the asymmetry-unaware scheduler. The paper asserts this
+// against the literature; this driver measures it, running the same
+// workloads under every placement policy on both AMP machines.
+
+// ShowdownPolicy identifies one column of the showdown.
+type ShowdownPolicy int
+
+const (
+	// ShowdownNone is the stock scheduler baseline.
+	ShowdownNone ShowdownPolicy = iota
+	// ShowdownStatic is the paper's technique (phase marks, Loop[45]).
+	ShowdownStatic
+	// ShowdownDynamicGreedy is online detection with greedy IPC placement.
+	ShowdownDynamicGreedy
+	// ShowdownDynamicProbe is online detection with the sampling probe and
+	// Algorithm 2 placement.
+	ShowdownDynamicProbe
+	// ShowdownOracle is perfect-knowledge placement (upper bound).
+	ShowdownOracle
+)
+
+// String names the policy column.
+func (p ShowdownPolicy) String() string {
+	switch p {
+	case ShowdownNone:
+		return "none"
+	case ShowdownStatic:
+		return "static"
+	case ShowdownDynamicGreedy:
+		return "dynamic/greedy"
+	case ShowdownDynamicProbe:
+		return "dynamic/probe"
+	case ShowdownOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("showdown(%d)", int(p))
+}
+
+// ShowdownPolicies returns the full column set in display order.
+func ShowdownPolicies() []ShowdownPolicy {
+	return []ShowdownPolicy{
+		ShowdownNone, ShowdownStatic, ShowdownDynamicGreedy, ShowdownDynamicProbe, ShowdownOracle,
+	}
+}
+
+// ShowdownRow is one (machine, policy) cell of the showdown table, averaged
+// over the configured seeds.
+type ShowdownRow struct {
+	// Machine is the machine name (quad-2f2s, tri-2f1s).
+	Machine string
+	// Policy is the placement policy.
+	Policy ShowdownPolicy
+	// Throughput is mean committed instructions per second.
+	Throughput float64
+	// ThroughputPct is the throughput improvement over ShowdownNone on the
+	// same machine, in percent.
+	ThroughputPct float64
+	// AvgTimePct and MatchedAvgPct are average-process-time decreases versus
+	// ShowdownNone (raw and instance-matched).
+	AvgTimePct, MatchedAvgPct float64
+	// Switches is the mean core-switch count across the run.
+	Switches float64
+	// MarksExecuted is the mean dynamic phase-mark count (instrumented
+	// policies only).
+	MarksExecuted float64
+	// MonitorWindows, MonitorCycles and MonitorPct report the dynamic
+	// detector's sampling volume and charged overhead (MonitorPct is charged
+	// cycles relative to total committed cycles); zero for mark-based rows.
+	MonitorWindows float64
+	MonitorCycles  float64
+	MonitorPct     float64
+	// OnlineSwitches is the mean number of detector-requested reassignments.
+	OnlineSwitches float64
+	// CounterDefers is the mean number of monitoring requests that found no
+	// free counter event set.
+	CounterDefers float64
+}
+
+// showdownRunCfg builds one run config for a policy on a machine-specific
+// config (cfg.Machine and cfg.Suite must already match).
+func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) sim.RunConfig {
+	mode := sim.Baseline
+	params := transition.Params{}
+	ocfg := online.Config{}
+	switch p {
+	case ShowdownStatic:
+		mode, params = sim.Tuned, BestParams()
+	case ShowdownDynamicGreedy:
+		mode = sim.Dynamic
+		ocfg = online.DefaultConfig()
+		ocfg.Policy = online.Greedy
+		ocfg.Delta = cfg.Tuning.Delta
+	case ShowdownDynamicProbe:
+		mode = sim.Dynamic
+		ocfg = online.DefaultConfig()
+		ocfg.Policy = online.Probe
+		ocfg.Delta = cfg.Tuning.Delta
+	case ShowdownOracle:
+		mode, params = sim.Oracle, BestParams()
+	}
+	rc := cfg.runCfg(mode, params, cfg.Tuning, 0, seed, cfg.DurationSec)
+	rc.Online = ocfg
+	return rc
+}
+
+// Showdown runs the full static-vs-dynamic-vs-oracle comparison on the
+// given machines (default: the paper's quad AMP plus the §VII tri-core).
+// Rows come back machine-major in ShowdownPolicies order; every improvement
+// column is relative to the same machine's ShowdownNone row. All runs of a
+// machine share workload queues per seed (the paper's comparison protocol)
+// and sweep concurrently over the shared artifact cache.
+func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
+	if machines == nil {
+		machines = []*amp.Machine{amp.Quad2Fast2Slow(), amp.ThreeCore2Fast1Slow()}
+	}
+	policies := ShowdownPolicies()
+	var rows []ShowdownRow
+	for _, machine := range machines {
+		mcfg := cfg
+		mcfg.Machine = machine
+		suite, err := workload.Suite(mcfg.Cost, machine)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Suite = suite
+
+		grid := make([]sim.RunConfig, 0, len(policies)*len(mcfg.Seeds))
+		for _, p := range policies {
+			for _, seed := range mcfg.Seeds {
+				grid = append(grid, showdownRunCfg(mcfg, p, seed))
+			}
+		}
+		results, err := mcfg.sweep(grid)
+		if err != nil {
+			return nil, err
+		}
+		cell := func(pi, si int) *sim.Result { return results[pi*len(mcfg.Seeds)+si] }
+
+		for pi, p := range policies {
+			row := ShowdownRow{Machine: machine.Name, Policy: p}
+			var tputs, tputPcts, avgPcts, matchedPcts []float64
+			for si := range mcfg.Seeds {
+				base, res := cell(0, si), cell(pi, si)
+				bt := metrics.ThroughputOver(base.Samples, 0, mcfg.DurationSec)
+				rt := metrics.ThroughputOver(res.Samples, 0, mcfg.DurationSec)
+				tputs = append(tputs, rt)
+				tputPcts = append(tputPcts, metrics.PercentIncrease(bt, rt))
+				avgPcts = append(avgPcts, metrics.PercentDecrease(
+					metrics.AvgProcessTime(base.Tasks), metrics.AvgProcessTime(res.Tasks)))
+				matchedPcts = append(matchedPcts, matchedAvgImprovement(base.Tasks, res.Tasks))
+
+				var switches int
+				var marks, cycles uint64
+				for _, t := range res.Tasks {
+					switches += t.Migrations
+					marks += t.MarksExecuted
+					cycles += t.Cycles
+				}
+				row.Switches += float64(switches)
+				row.MarksExecuted += float64(marks)
+				row.CounterDefers += float64(res.CounterDefers)
+				if res.Online != nil {
+					row.MonitorWindows += float64(res.Online.Windows)
+					row.MonitorCycles += float64(res.Online.ChargedCycles)
+					row.OnlineSwitches += float64(res.Online.Switches)
+					if cycles > 0 {
+						row.MonitorPct += 100 * float64(res.Online.ChargedCycles) / float64(cycles)
+					}
+				}
+			}
+			n := float64(len(mcfg.Seeds))
+			row.Throughput = metrics.Mean(tputs)
+			row.ThroughputPct = metrics.Mean(tputPcts)
+			row.AvgTimePct = metrics.Mean(avgPcts)
+			row.MatchedAvgPct = metrics.Mean(matchedPcts)
+			row.Switches /= n
+			row.MarksExecuted /= n
+			row.MonitorWindows /= n
+			row.MonitorCycles /= n
+			row.MonitorPct /= n
+			row.OnlineSwitches /= n
+			row.CounterDefers /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ShowdownContention reruns the probe showdown cell with a small bounded
+// counter pool, reporting how the dynamic detector degrades when event sets
+// are scarce (the perfcnt deferral path under periodic sampling).
+type ShowdownContentionResult struct {
+	// Slots is the bounded pool size.
+	Slots int
+	// Defers counts monitoring requests that found no free event set.
+	Defers uint64
+	// Windows counts detection windows still accepted.
+	Windows uint64
+	// ThroughputPct is the throughput improvement over baseline.
+	ThroughputPct float64
+}
+
+// ShowdownCounterContention measures the dynamic detector under counter
+// scarcity on the config machine.
+func ShowdownCounterContention(cfg Config, slots int) (ShowdownContentionResult, error) {
+	sched := cfg.Sched
+	sched.CounterSlots = slots
+	c := cfg
+	c.Sched = sched
+	seed := c.Seeds[0]
+	grid := []sim.RunConfig{
+		showdownRunCfg(c, ShowdownNone, seed),
+		showdownRunCfg(c, ShowdownDynamicProbe, seed),
+	}
+	results, err := c.sweep(grid)
+	if err != nil {
+		return ShowdownContentionResult{}, err
+	}
+	base, dyn := results[0], results[1]
+	out := ShowdownContentionResult{
+		Slots:  slots,
+		Defers: dyn.CounterDefers,
+		ThroughputPct: metrics.PercentIncrease(
+			metrics.ThroughputOver(base.Samples, 0, c.DurationSec),
+			metrics.ThroughputOver(dyn.Samples, 0, c.DurationSec)),
+	}
+	if dyn.Online != nil {
+		out.Windows = dyn.Online.Windows
+	}
+	return out, nil
+}

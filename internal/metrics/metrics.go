@@ -26,6 +26,11 @@ type TaskStat struct {
 	Instructions, Cycles uint64
 	// MarksExecuted counts dynamic phase-mark executions.
 	MarksExecuted uint64
+	// FinalAffinity is the task's affinity mask when the run ended — the
+	// placement the tuning or online runtime left it with (0 when the
+	// kernel predates affinity assignment; all-cores masks are recorded
+	// explicitly).
+	FinalAffinity uint64
 }
 
 // Completed reports whether the job finished.

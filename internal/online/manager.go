@@ -1,0 +1,416 @@
+package online
+
+import (
+	"sort"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/osched"
+	"phasetune/internal/perfcnt"
+	"phasetune/internal/tuning"
+)
+
+// taskState is the detector's per-process bookkeeping.
+type taskState struct {
+	task *osched.Task
+	cls  *Classifier
+
+	// Open window: counter snapshot plus the migration count at open, so a
+	// window spanning a core switch can be discarded (its IPC would blend
+	// two core types).
+	es       perfcnt.EventSet
+	open     bool
+	openMigr int
+	windows  uint64
+	// phase is the last classified phase (-1 before the first window).
+	phase int
+	// ipcEWMA is the greedy policy's smoothed IPC estimate.
+	ipcEWMA float64
+	// decisions holds the probe policy's fixed per-phase measurements.
+	decisions map[int]*phaseDecision
+	// probing is true while the probe policy is steering this task to an
+	// unmeasured core type; the placement pass leaves probing tasks alone.
+	probing bool
+	// wantMask is the mask this manager last requested for the task (0 =
+	// never reassigned), used to count real switches and damp flapping.
+	wantMask uint64
+}
+
+// phaseDecision is a probe-policy placement, fixed once every core type has
+// been measured for the phase: the Algorithm 2 choice plus the measured
+// per-type instruction rates (IPC x clock) the capacity-aware placement
+// pass uses to price spilling the task onto another type.
+type phaseDecision struct {
+	choice amp.CoreTypeID
+	rates  []float64 // instructions per simulated second, per core type
+}
+
+// Manager is the online phase-detection runtime: it implements
+// osched.TaskMonitor, sampling every live task's virtualized counters in
+// fixed instruction windows, classifying window signatures into phases, and
+// driving the configured reassignment policy. One Manager serves one kernel
+// (one run); it is not safe for concurrent use, matching the kernel's
+// single-threaded event loop.
+type Manager struct {
+	cfg     Config
+	machine *amp.Machine
+	hw      *perfcnt.Hardware
+
+	seen  int // cursor into kernel.Tasks()
+	live  []*taskState
+	stats Stats
+
+	// fastShare is the fraction of machine cycle capacity on the fastest
+	// core type, the greedy policy's fast-slot quota.
+	fastShare float64
+	fastType  amp.CoreTypeID
+	slowType  amp.CoreTypeID
+}
+
+// NewManager builds the runtime for one kernel. The hardware pool should be
+// the kernel's own (kernel.Hardware) so counter contention with any other
+// monitoring stays modeled.
+func NewManager(cfg Config, machine *amp.Machine, hw *perfcnt.Hardware) *Manager {
+	cfg = cfg.Normalized()
+	m := &Manager{cfg: cfg, machine: machine, hw: hw}
+	fastCps, totalCps := 0.0, 0.0
+	m.fastType, m.slowType = 0, 0
+	for i, t := range machine.Types {
+		if t.CyclesPerSec > machine.Types[m.fastType].CyclesPerSec {
+			m.fastType = amp.CoreTypeID(i)
+		}
+		if t.CyclesPerSec < machine.Types[m.slowType].CyclesPerSec {
+			m.slowType = amp.CoreTypeID(i)
+		}
+	}
+	for _, c := range machine.Cores {
+		cps := machine.Types[c.Type].CyclesPerSec
+		totalCps += cps
+		if c.Type == m.fastType {
+			fastCps += cps
+		}
+	}
+	if totalCps > 0 {
+		m.fastShare = fastCps / totalCps
+	}
+	return m
+}
+
+// Config returns the effective (default-filled) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns the aggregate monitoring statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// PhasesOf returns the classifier of a task (nil if the task was never
+// monitored) — test and diagnostic access.
+func (m *Manager) PhasesOf(t *osched.Task) *Classifier {
+	for _, ts := range m.live {
+		if ts.task == t {
+			return ts.cls
+		}
+	}
+	return nil
+}
+
+// OnTick implements osched.TaskMonitor: adopt newly spawned tasks, retire
+// exited ones, close matured windows, and apply the reassignment policy.
+func (m *Manager) OnTick(k *osched.Kernel, atPs int64) {
+	// Adopt tasks spawned since the last tick (kernel task list is
+	// append-only).
+	tasks := k.Tasks()
+	for ; m.seen < len(tasks); m.seen++ {
+		t := tasks[m.seen]
+		if t.State == osched.TaskExited {
+			continue
+		}
+		m.live = append(m.live, &taskState{
+			task:      t,
+			cls:       NewClassifier(m.cfg.ClassifyEps, m.cfg.MaxPhases, len(m.machine.Types)),
+			phase:     -1,
+			decisions: map[int]*phaseDecision{},
+		})
+	}
+
+	// Sample, releasing state for exited tasks in place.
+	kept := m.live[:0]
+	for _, ts := range m.live {
+		if ts.task.State == osched.TaskExited {
+			if ts.open {
+				m.hw.Release()
+				ts.open = false
+			}
+			continue
+		}
+		m.sample(k, ts)
+		kept = append(kept, ts)
+	}
+	m.live = kept
+
+	switch m.cfg.Policy {
+	case Greedy:
+		m.greedyRebalance(k)
+	case Probe:
+		m.probeRebalance(k)
+	}
+}
+
+// sample advances one task's windowing: close a matured window (classify,
+// run the per-task policy) and open the next. Opening draws an event set
+// from the bounded counter pool; when none is free the attempt is deferred
+// to the next tick (perfcnt counts the contention).
+func (m *Manager) sample(k *osched.Kernel, ts *taskState) {
+	t := ts.task
+	if ts.open {
+		instrs, cycles, memRefs := ts.es.StopFull(&t.Proc.Counters)
+		if instrs < m.cfg.WindowInstrs {
+			return // window still filling
+		}
+		// Close: the counter read and classification are charged to the
+		// monitored task — the overhead the paper says dynamic schemes
+		// cannot avoid.
+		m.hw.Release()
+		ts.open = false
+		if m.cfg.SampleCycles > 0 {
+			k.Penalize(t, m.cfg.SampleCycles)
+			m.stats.ChargedCycles += uint64(m.cfg.SampleCycles)
+		}
+
+		if cycles == 0 || t.Migrations != ts.openMigr || t.Core() < 0 {
+			m.stats.Discarded++
+		} else {
+			sig := Signature{
+				IPC:     perfcnt.IPC(instrs, cycles),
+				MemFrac: float64(memRefs) / float64(instrs),
+			}
+			coreType := m.machine.Cores[t.Core()].Type
+			phase, founded := ts.cls.Classify(sig, coreType)
+			ts.phase = phase
+			ts.windows++
+			m.stats.Windows++
+			if founded {
+				m.stats.Phases++
+			}
+			a := m.cfg.IPCSmoothing
+			if ts.windows == 1 {
+				ts.ipcEWMA = sig.IPC
+			} else {
+				ts.ipcEWMA += a * (sig.IPC - ts.ipcEWMA)
+			}
+			if m.cfg.Policy == Probe {
+				m.probe(k, ts)
+			}
+		}
+	}
+	if !ts.open && m.hw.TryAcquire() {
+		ts.es = perfcnt.Start(&t.Proc.Counters)
+		ts.openMigr = t.Migrations
+		ts.open = true
+	}
+}
+
+// probe drives the sampling policy for one task after a window closed on
+// phase ts.phase: steer the task toward the least-measured core type until
+// every type has ProbeWindows accepted windows, then fix the phase's
+// placement with Algorithm 2. Decided tasks are placed by probeRebalance.
+func (m *Manager) probe(k *osched.Kernel, ts *taskState) {
+	phase := ts.phase
+	if _, ok := ts.decisions[phase]; ok {
+		ts.probing = false
+		return
+	}
+	// Find the least-measured core type; decide once all are covered.
+	probeType, probeN := amp.CoreTypeID(0), int(^uint(0)>>1)
+	done := true
+	for i := range m.machine.Types {
+		_, n := ts.cls.TypeIPC(phase, amp.CoreTypeID(i))
+		if n < m.cfg.ProbeWindows {
+			done = false
+		}
+		if n < probeN {
+			probeType, probeN = amp.CoreTypeID(i), n
+		}
+	}
+	if !done {
+		ts.probing = true
+		m.apply(k, ts, m.machine.TypeMask(probeType))
+		return
+	}
+	f := make([]float64, len(m.machine.Types))
+	rates := make([]float64, len(m.machine.Types))
+	for i := range f {
+		f[i], _ = ts.cls.TypeIPC(phase, amp.CoreTypeID(i))
+		rates[i] = f[i] * m.machine.Types[i].CyclesPerSec
+	}
+	ts.decisions[phase] = &phaseDecision{choice: tuning.Select(m.machine, f, m.cfg.Delta), rates: rates}
+	ts.probing = false
+	m.stats.Decisions++
+}
+
+// probeRebalance places every decided task, honoring measured preferences
+// under a capacity constraint. Per-phase Algorithm 2 choices alone herd
+// tasks: a workload dominated by memory-bound jobs would pile every task
+// onto the slow pair while fast cores idle. So preferences are demands, and
+// overflow beyond a type's capacity share spills the cheapest tasks — loss
+// is priced from the phase's measured per-type instruction rates, and a
+// DRAM-bound task costs ~nothing to run on a fast core (fixed wall-clock
+// memory latency), so memory phases spill to idle fast cores first.
+func (m *Manager) probeRebalance(k *osched.Kernel) {
+	nTypes := len(m.machine.Types)
+	if nTypes < 2 {
+		return
+	}
+	type placed struct {
+		ts  *taskState
+		dec *phaseDecision
+		typ amp.CoreTypeID
+	}
+	var tasks []placed
+	for _, ts := range m.live {
+		if ts.probing || ts.phase < 0 {
+			continue
+		}
+		dec, ok := ts.decisions[ts.phase]
+		if !ok {
+			continue
+		}
+		tasks = append(tasks, placed{ts: ts, dec: dec, typ: dec.choice})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+
+	// Capacity quota per type: cycle-capacity share of the decided tasks,
+	// with a one-task band so a task at the boundary does not flap.
+	demand := make([]int, nTypes)
+	quota := make([]int, nTypes)
+	totalCps := 0.0
+	for _, c := range m.machine.Cores {
+		totalCps += m.machine.Types[c.Type].CyclesPerSec
+	}
+	for i := range quota {
+		typCps := 0.0
+		for _, c := range m.machine.Cores {
+			if int(c.Type) == i {
+				typCps += m.machine.Types[c.Type].CyclesPerSec
+			}
+		}
+		quota[i] = int(float64(len(tasks))*typCps/totalCps + 0.5)
+	}
+	for i := range tasks {
+		demand[int(tasks[i].typ)]++
+	}
+
+	const band = 1
+	for round := 0; round < len(tasks)*nTypes; round++ {
+		// Most oversubscribed type, most undersubscribed type.
+		over, under := -1, -1
+		for i := 0; i < nTypes; i++ {
+			if demand[i] > quota[i]+band && (over == -1 || demand[i]-quota[i] > demand[over]-quota[over]) {
+				over = i
+			}
+			if demand[i] < quota[i] && (under == -1 || quota[i]-demand[i] > quota[under]-demand[under]) {
+				under = i
+			}
+		}
+		if over == -1 || under == -1 {
+			break
+		}
+		// Spill the task whose measured rate loses least on the target
+		// type; prefer tasks already spilled there (no new switch).
+		best, bestLoss := -1, 0.0
+		for i := range tasks {
+			if int(tasks[i].typ) != over {
+				continue
+			}
+			loss := tasks[i].dec.rates[over] - tasks[i].dec.rates[under]
+			if tasks[i].ts.wantMask == m.machine.TypeMask(amp.CoreTypeID(under)) {
+				loss -= tasks[i].dec.rates[over] * hysteresisBonus
+			}
+			if best == -1 || loss < bestLoss {
+				best, bestLoss = i, loss
+			}
+		}
+		if best == -1 {
+			break
+		}
+		tasks[best].typ = amp.CoreTypeID(under)
+		demand[over]--
+		demand[under]++
+	}
+
+	for _, p := range tasks {
+		m.apply(k, p.ts, m.machine.TypeMask(p.typ))
+	}
+}
+
+// hysteresisBonus discounts the spill loss of a task already placed on the
+// spill target, so marginal spill choices stick across ticks.
+const hysteresisBonus = 0.05
+
+// apply requests an affinity mask for a task, counting only real changes.
+func (m *Manager) apply(k *osched.Kernel, ts *taskState, mask uint64) {
+	if mask == 0 || mask == ts.wantMask {
+		return
+	}
+	ts.wantMask = mask
+	if ts.task.Affinity != mask {
+		m.stats.Switches++
+		k.SetAffinity(ts.task, mask)
+	}
+}
+
+// greedyRebalance ranks scored tasks by smoothed IPC and grants the fast
+// type's capacity share to the top of the ranking, the rest to the slowest
+// type. A one-position hysteresis band keeps tasks at the quota boundary
+// from flapping between masks every tick.
+func (m *Manager) greedyRebalance(k *osched.Kernel) {
+	if m.fastType == m.slowType {
+		return // symmetric machine: nothing to place
+	}
+	scored := make([]*taskState, 0, len(m.live))
+	for _, ts := range m.live {
+		if ts.windows > 0 {
+			scored = append(scored, ts)
+		}
+	}
+	if len(scored) == 0 {
+		return
+	}
+	sort.SliceStable(scored, func(a, b int) bool {
+		return scored[a].ipcEWMA > scored[b].ipcEWMA
+	})
+	// Fast-slot quota: the fast type's cycle-capacity share of the ranked
+	// tasks — but never below one task per fast core while fast cores are
+	// undersubscribed (on an idle machine every task belongs on a fast
+	// core; pinning the lower ranks to slow cores would only idle capacity).
+	quota := int(float64(len(scored))*m.fastShare + 0.5)
+	if nFast := len(m.machine.CoresOfType(m.fastType)); quota < nFast {
+		quota = nFast
+		if quota > len(scored) {
+			quota = len(scored)
+		}
+	}
+	const band = 1
+	fastMask := m.machine.TypeMask(m.fastType)
+	slowMask := m.machine.TypeMask(m.slowType)
+	for i, ts := range scored {
+		// Clear of the boundary band, the quota decides; inside the band an
+		// already-placed task keeps its side (hysteresis) and an unplaced
+		// task takes the raw quota cut — so the quota fills from a cold
+		// start even when it is no larger than the band.
+		var mask uint64
+		switch {
+		case i < quota-band:
+			mask = fastMask
+		case i >= quota+band:
+			mask = slowMask
+		case ts.wantMask == fastMask || ts.wantMask == slowMask:
+			mask = ts.wantMask
+		case i < quota:
+			mask = fastMask
+		default:
+			mask = slowMask
+		}
+		m.apply(k, ts, mask)
+	}
+}

@@ -1,0 +1,243 @@
+package online_test
+
+import (
+	"testing"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/online"
+	"phasetune/internal/osched"
+	"phasetune/internal/perfcnt"
+	"phasetune/internal/phase"
+	"phasetune/internal/prog"
+	"phasetune/internal/sim"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+// --- Classifier -----------------------------------------------------------
+
+func TestClassifierStableSignaturesOneCluster(t *testing.T) {
+	cl := online.NewClassifier(0.25, 6, 2)
+	for i := 0; i < 50; i++ {
+		ph, founded := cl.Classify(online.Signature{IPC: 2.9, MemFrac: 0.16}, amp.FastType)
+		if ph != 0 {
+			t.Fatalf("window %d classified to phase %d, want 0", i, ph)
+		}
+		if founded != (i == 0) {
+			t.Fatalf("window %d founded=%v", i, founded)
+		}
+	}
+	if cl.NumPhases() != 1 {
+		t.Fatalf("NumPhases = %d, want 1", cl.NumPhases())
+	}
+}
+
+func TestClassifierSeparatesMemFromCompute(t *testing.T) {
+	cl := online.NewClassifier(0.25, 6, 2)
+	cpu, _ := cl.Classify(online.Signature{IPC: 2.9, MemFrac: 0.16}, amp.FastType)
+	mem, _ := cl.Classify(online.Signature{IPC: 0.3, MemFrac: 0.75}, amp.FastType)
+	if cpu == mem {
+		t.Fatalf("compute and memory signatures merged into one phase")
+	}
+	// The same phase observed on the other core type with a different IPC
+	// must NOT found a new phase: cross-type IPC difference is asymmetry,
+	// not phase change.
+	mem2, founded := cl.Classify(online.Signature{IPC: 0.45, MemFrac: 0.75}, amp.SlowType)
+	if founded || mem2 != mem {
+		t.Fatalf("slow-core observation of the memory phase founded a new cluster (phase %d vs %d)", mem2, mem)
+	}
+	ipcSlow, n := cl.TypeIPC(mem, amp.SlowType)
+	if n != 1 || ipcSlow != 0.45 {
+		t.Fatalf("slow-type IPC stat = (%v, %d), want (0.45, 1)", ipcSlow, n)
+	}
+}
+
+func TestClassifierRespectsMaxPhases(t *testing.T) {
+	cl := online.NewClassifier(0.01, 3, 2)
+	for i := 0; i < 20; i++ {
+		cl.Classify(online.Signature{IPC: 0.2 + 0.3*float64(i), MemFrac: 0.05 * float64(i%10)}, amp.FastType)
+	}
+	if cl.NumPhases() > 3 {
+		t.Fatalf("NumPhases = %d exceeds cap 3", cl.NumPhases())
+	}
+}
+
+// --- Convergence: dynamic placement == static Algorithm 2 -----------------
+
+// stableProgram builds a single-phase program: the same block mix repeated,
+// so its runtime behavior is one stable phase.
+func stableProgram(t *testing.T, name string, mix prog.BlockMix, trips float64) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder(name)
+	pb := b.Proc("main")
+	b.SetEntry("main")
+	pb.Loop(trips, func(pb *prog.ProcBuilder) { pb.Straight(mix) })
+	pb.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// isolatedIPC measures the program's IPC on every core type in isolation —
+// the exact input the paper's Algorithm 2 consumes.
+func isolatedIPC(t *testing.T, p *prog.Program, cm exec.CostModel, machine *amp.Machine) []float64 {
+	t.Helper()
+	img, err := exec.NewImage(p, nil, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pars := exec.ParamsFor(cm, machine)
+	out := make([]float64, len(pars))
+	for i := range pars {
+		proc := exec.NewProcess(1, img, &cm, 7, nil)
+		es := perfcnt.Start(&proc.Counters)
+		proc.RunIsolated(&pars[i], machine.CoresOfType(pars[i].Type)[0], machine.L2s[0].SizeKB, 0)
+		instrs, cycles := es.Stop(&proc.Counters)
+		out[i] = perfcnt.IPC(instrs, cycles)
+	}
+	return out
+}
+
+// TestProbeConvergesToAlgorithm2 is the convergence property the showdown
+// rests on: on a phase-stable program, the online probe detector's final
+// placement must equal the assignment static Algorithm 2 computes from
+// isolated per-core-type IPC.
+func TestProbeConvergesToAlgorithm2(t *testing.T) {
+	machine := amp.Quad2Fast2Slow()
+	cm := exec.DefaultCostModel()
+	ocfg := online.DefaultConfig()
+	ocfg.Policy = online.Probe
+
+	cases := []struct {
+		name string
+		mix  prog.BlockMix
+	}{
+		{"memstable", prog.BlockMix{Load: 16, Store: 8, IntALU: 8, WorkingSetKB: 3072, Locality: 0.94}},
+		{"cpustable", prog.BlockMix{IntALU: 30, IntMul: 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := stableProgram(t, tc.name, tc.mix, 20000)
+			want := machine.TypeMask(tuning.Select(machine, isolatedIPC(t, p, cm, machine), ocfg.Delta))
+
+			bench := &workload.Benchmark{Spec: workload.BenchSpec{Name: tc.name}, Prog: p}
+			w := &workload.Workload{Slots: [][]*workload.Benchmark{{bench}}}
+			res, err := sim.Run(sim.RunConfig{
+				Machine: machine, Cost: &cm,
+				Workload: w, DurationSec: 60, Mode: sim.Dynamic, Online: ocfg, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Online == nil || res.Online.Decisions == 0 {
+				t.Fatalf("online detector made no placement decisions (stats %+v)", res.Online)
+			}
+			got := res.Tasks[0].FinalAffinity
+			if got != want {
+				t.Fatalf("final placement mask = %b, want %b (Algorithm 2 on isolated IPC %v)",
+					got, want, isolatedIPC(t, p, cm, machine))
+			}
+		})
+	}
+}
+
+// --- Counter contention under periodic sampling ---------------------------
+
+// TestBoundedCounterPoolDefersSampling covers the perfcnt Hardware
+// contention path under periodic sampling: with fewer event sets than
+// monitored tasks, window-open attempts defer (and are counted), the
+// detector still makes progress, and the pool never over-releases.
+func TestBoundedCounterPoolDefersSampling(t *testing.T) {
+	machine := amp.Quad2Fast2Slow()
+	cm := exec.DefaultCostModel()
+	sched := osched.DefaultConfig()
+	sched.CounterSlots = 2
+
+	mix := prog.BlockMix{IntALU: 20, IntMul: 4, Load: 4, Store: 2, WorkingSetKB: 64, Locality: 0.98}
+	var slots [][]*workload.Benchmark
+	for i := 0; i < 6; i++ {
+		name := "contend" + string(rune('a'+i))
+		bench := &workload.Benchmark{Spec: workload.BenchSpec{Name: name},
+			Prog: stableProgram(t, name, mix, 50000)}
+		slots = append(slots, []*workload.Benchmark{bench})
+	}
+	res, err := sim.Run(sim.RunConfig{
+		Machine: machine, Cost: &cm, Sched: &sched,
+		Workload:    &workload.Workload{Slots: slots},
+		DurationSec: 40, Mode: sim.Dynamic, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterDefers == 0 {
+		t.Fatalf("expected counter deferrals with 2 event sets and 6 monitored tasks")
+	}
+	if res.Online == nil || res.Online.Windows == 0 {
+		t.Fatalf("detector made no progress under contention (stats %+v)", res.Online)
+	}
+}
+
+// TestUnboundedPoolNoDefers is the control: with the default unlimited
+// pool, periodic sampling never defers.
+func TestUnboundedPoolNoDefers(t *testing.T) {
+	machine := amp.Quad2Fast2Slow()
+	cm := exec.DefaultCostModel()
+	mix := prog.BlockMix{IntALU: 20, Load: 4, WorkingSetKB: 64, Locality: 0.98}
+	bench := &workload.Benchmark{Spec: workload.BenchSpec{Name: "solo"},
+		Prog: stableProgram(t, "solo", mix, 20000)}
+	res, err := sim.Run(sim.RunConfig{
+		Machine: machine, Cost: &cm,
+		Workload:    &workload.Workload{Slots: [][]*workload.Benchmark{{bench}}},
+		DurationSec: 30, Mode: sim.Dynamic, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CounterDefers != 0 {
+		t.Fatalf("unexpected deferrals %d with an unbounded pool", res.CounterDefers)
+	}
+}
+
+// --- Oracle ---------------------------------------------------------------
+
+// TestOracleAssignmentsSplitTypes checks the oracle computes opposite
+// placements for a memory-bound and a compute-bound phase of an
+// alternating benchmark (the discriminating signal of the whole paper).
+func TestOracleAssignmentsSplitTypes(t *testing.T) {
+	machine := amp.Quad2Fast2Slow()
+	cm := exec.DefaultCostModel()
+	suite, err := workload.Suite(cm, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 183.equake alternates CPU and DRAM phases: its oracle assignment must
+	// use both core types.
+	var equake *workload.Benchmark
+	for _, b := range suite {
+		if b.Name() == "183.equake" {
+			equake = b
+		}
+	}
+	topts := phase.Options{K: 2, MinBlockInstrs: 5}
+	img, _, err := sim.PrepareImage(equake.Prog,
+		transition.Params{Technique: transition.Loop, MinSize: 45, PropagateThroughUntyped: true},
+		topts, 0, 1, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, err := online.OracleAssignments(img, topts, cm, machine, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for _, m := range masks {
+		distinct[m] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("oracle assignments %v use %d distinct masks, want both core types", masks, len(distinct))
+	}
+}

@@ -1,0 +1,99 @@
+package online
+
+import (
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/phase"
+	"phasetune/internal/tuning"
+)
+
+// OracleAssignments computes the perfect-knowledge placement for an
+// instrumented image: for every phase type, the instruction-weighted mean
+// of the static per-block IPC estimate on each core type feeds the paper's
+// Algorithm 2, yielding the mask a clairvoyant runtime would pin the phase
+// to. The oracle is the upper bound of the showdown: placements are exact
+// from the first mark, with zero monitoring overhead and zero misprediction.
+//
+// The image must have been instrumented under the same typing options with
+// no injected clustering error (block typing is re-derived here and must
+// match the mark types the instrumenter embedded).
+func OracleAssignments(img *exec.Image, topts phase.Options, cm exec.CostModel,
+	m *amp.Machine, delta float64) (map[phase.Type]uint64, error) {
+
+	typing, err := phase.ClusterBlocks(img.Prog, img.Graphs, topts)
+	if err != nil {
+		return nil, err
+	}
+	pars := exec.ParamsFor(cm, m)
+	shareKB := m.L2s[0].SizeKB
+
+	// Per phase type, per core type: instruction-weighted IPC sums.
+	type acc struct {
+		ipcW []float64
+		w    float64
+	}
+	accs := map[phase.Type]*acc{}
+	for pi, g := range img.Graphs {
+		for _, blk := range g.Blocks {
+			pt := typing.TypeOf(phase.BlockKey{Proc: pi, Block: blk.ID})
+			if pt == phase.Untyped {
+				continue
+			}
+			a, ok := accs[pt]
+			if !ok {
+				a = &acc{ipcW: make([]float64, len(pars))}
+				accs[pt] = a
+			}
+			w := float64(blk.Mix().Total())
+			if w <= 0 {
+				continue
+			}
+			for t := range pars {
+				a.ipcW[t] += w * exec.BlockIPC(blk, &pars[t], cm, shareKB)
+			}
+			a.w += w
+		}
+	}
+
+	out := make(map[phase.Type]uint64, len(accs))
+	for pt, a := range accs {
+		if a.w <= 0 {
+			continue
+		}
+		f := make([]float64, len(a.ipcW))
+		for t := range f {
+			f[t] = a.ipcW[t] / a.w
+		}
+		out[pt] = m.TypeMask(tuning.Select(m, f, delta))
+	}
+	return out, nil
+}
+
+// OracleHook is the per-process mark hook of oracle runs: every phase mark
+// resolves to its precomputed mask instantly — no sampling, no counters, no
+// decision latency. It implements exec.MarkHook.
+type OracleHook struct {
+	img   *exec.Image
+	masks map[phase.Type]uint64
+	// SwitchRequests counts affinity calls issued (diagnostics).
+	SwitchRequests int
+}
+
+// NewOracleHook builds the hook from precomputed assignments (one shared
+// map serves every process executing the same image).
+func NewOracleHook(img *exec.Image, masks map[phase.Type]uint64) *OracleHook {
+	return &OracleHook{img: img, masks: masks}
+}
+
+// OnMark implements exec.MarkHook.
+func (h *OracleHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction {
+	mask, ok := h.masks[h.img.MarkType(markID)]
+	if !ok {
+		return exec.MarkAction{}
+	}
+	h.SwitchRequests++
+	return exec.MarkAction{Mask: mask}
+}
+
+// OnExit implements exec.MarkHook.
+func (h *OracleHook) OnExit(p *exec.Process) {}

@@ -51,6 +51,12 @@ type Config struct {
 	BalanceIntervalSec float64
 	// SampleIntervalSec is the period of throughput sampling.
 	SampleIntervalSec float64
+	// MonitorIntervalSec is the period of the task monitor (Kernel.Monitor);
+	// non-positive disables the monitor event even when a monitor is set.
+	// The online phase-detection runtime observes per-process counters on
+	// this tick (§V's dynamic competitor); it is distinct from throughput
+	// sampling so detection cadence can be tuned without touching metrics.
+	MonitorIntervalSec float64
 	// CoreSwitchCycles is charged to a process when it migrates between
 	// cores (the paper measures ~1000 cycles per switch, §IV-B3).
 	CoreSwitchCycles int64
@@ -77,6 +83,7 @@ func DefaultConfig() Config {
 		TimesliceSec:        0.1,
 		BalanceIntervalSec:  0.25,
 		SampleIntervalSec:   1.0,
+		MonitorIntervalSec:  0.1,
 		CoreSwitchCycles:    50,
 		ContextSwitchCycles: 40,
 		CounterSlots:        0,
@@ -120,6 +127,21 @@ type Task struct {
 	arriveHead    bool  // enqueue at the head on next arrival (mid-slice migration)
 }
 
+// Core returns the core the task is queued on or running on (-1 after
+// exit). For an in-flight task it is the core the current burst runs on.
+func (t *Task) Core() int { return t.core }
+
+// TaskMonitor observes the machine at a fixed period (the kernel's
+// Config.MonitorIntervalSec). It is the OS-level hook the online
+// phase-detection runtime hangs off: at every tick it may read any task's
+// virtualized counters, charge monitoring cost (Penalize), and reassign
+// tasks (SetAffinity). Ticks run synchronously inside the event loop, so a
+// monitor needs no locking of kernel state.
+type TaskMonitor interface {
+	// OnTick fires once per monitor interval with the simulated timestamp.
+	OnTick(k *Kernel, atPs int64)
+}
+
 // Sample is one throughput observation.
 type Sample struct {
 	// AtPs is the sample timestamp.
@@ -138,6 +160,7 @@ const (
 	evArrive
 	evBalance
 	evSample
+	evMonitor
 )
 
 type event struct {
@@ -194,6 +217,10 @@ type Kernel struct {
 	// OnSample, when set, fires at every throughput sampling event (run
 	// drivers use it for progress reporting).
 	OnSample func(k *Kernel, atPs int64)
+	// Monitor, when set, receives periodic OnTick callbacks every
+	// Config.MonitorIntervalSec (the online phase-detection runtime).
+	// It must be set before the first Run* call.
+	Monitor TaskMonitor
 	// TraceBurst, when set, fires after every run burst (diagnostics).
 	TraceBurst func(core int, t *Task, cycles, startPs, endPs int64)
 
@@ -210,6 +237,7 @@ type Kernel struct {
 	samples    []Sample
 	sampling   bool
 	balancing  bool
+	monitoring bool
 }
 
 // NewKernel boots a kernel on the machine.
@@ -323,6 +351,17 @@ func (k *Kernel) pickCore(t *Task, exclude int) int {
 // keeps a migrated task's remaining timeslice and dynamic priority, so it
 // resumes promptly on the target core instead of waiting a full queue round.
 func (k *Kernel) enqueue(t *Task, core int) {
+	// The mask may have moved while the task was in flight (an external
+	// SetAffinity from the monitor): land on an allowed core instead,
+	// charging the switch like any other migration.
+	if t.Affinity&(1<<uint(core)) == 0 {
+		target := k.pickCore(t, core)
+		if target != core {
+			t.Migrations++
+			t.pendingCycles += k.Config.CoreSwitchCycles
+			core = target
+		}
+	}
 	t.core = core
 	t.State = TaskReady
 	cs := &k.cores[core]
@@ -415,6 +454,11 @@ func (k *Kernel) handle(e event) {
 			k.OnSample(k, k.nowPs)
 		}
 		k.push(k.nowPs+SecToPs(k.Config.SampleIntervalSec), evSample, -1)
+	case evMonitor:
+		if k.Monitor != nil {
+			k.Monitor.OnTick(k, k.nowPs)
+		}
+		k.push(k.nowPs+SecToPs(k.Config.MonitorIntervalSec), evMonitor, -1)
 	}
 }
 
@@ -427,6 +471,10 @@ func (k *Kernel) ensurePeriodicEvents() {
 	if !k.sampling {
 		k.sampling = true
 		k.push(k.nowPs+SecToPs(k.Config.SampleIntervalSec), evSample, -1)
+	}
+	if !k.monitoring && k.Monitor != nil && k.Config.MonitorIntervalSec > 0 {
+		k.monitoring = true
+		k.push(k.nowPs+SecToPs(k.Config.MonitorIntervalSec), evMonitor, -1)
 	}
 }
 
@@ -569,6 +617,52 @@ func (k *Kernel) balance() {
 		if !moved {
 			return
 		}
+	}
+}
+
+// SetAffinity changes a task's affinity mask from outside the dispatch path
+// (the simulated kernel-side sched_setaffinity the online reassignment
+// policies call; processes themselves request masks through phase marks).
+// A mask of 0 means "all cores". A queued task whose current core becomes
+// disallowed migrates immediately; a task whose burst is in flight lands on
+// an allowed core when it arrives (the enqueue path re-checks the mask), so
+// external reassignment takes effect within one scheduling quantum.
+func (k *Kernel) SetAffinity(t *Task, mask uint64) {
+	if mask == 0 {
+		mask = k.Machine.AllMask()
+	}
+	if t.Affinity == mask || t.State == TaskExited {
+		t.Affinity = mask
+		return
+	}
+	t.Affinity = mask
+	if t.State != TaskReady || mask&(1<<uint(t.core)) != 0 {
+		return
+	}
+	k.removeFromQueue(t)
+	t.Migrations++
+	t.pendingCycles += k.Config.CoreSwitchCycles
+	k.enqueue(t, k.pickCore(t, t.core))
+}
+
+// removeFromQueue detaches a ready task from its core's run queue.
+func (k *Kernel) removeFromQueue(t *Task) {
+	q := k.cores[t.core].queue
+	for i, qt := range q {
+		if qt == t {
+			k.cores[t.core].queue = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Penalize charges cycles to a task's next run burst without advancing its
+// virtualized counters — monitoring overhead, modeled exactly like the
+// switch micro-costs (the online runtime charges its per-window sampling
+// work here, so "dynamic detection costs time" is part of the simulation).
+func (k *Kernel) Penalize(t *Task, cycles int64) {
+	if cycles > 0 && t.State != TaskExited {
+		t.pendingCycles += cycles
 	}
 }
 

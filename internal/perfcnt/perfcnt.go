@@ -14,11 +14,14 @@
 //     "processes seldom have to wait" claim is checkable.
 package perfcnt
 
-// Counters is a process's virtualized counter state: instructions retired
-// and unhalted cycles, accumulated only while the process runs.
+// Counters is a process's virtualized counter state: instructions retired,
+// unhalted cycles, and memory references, accumulated only while the process
+// runs. MemRefs is the load/store event the online phase detector reads for
+// its instruction-mix signature (real PMUs expose it as MEM_INST_RETIRED).
 type Counters struct {
 	Instructions uint64
 	Cycles       uint64
+	MemRefs      uint64
 }
 
 // Add accumulates a block execution.
@@ -26,6 +29,9 @@ func (c *Counters) Add(instrs, cycles uint64) {
 	c.Instructions += instrs
 	c.Cycles += cycles
 }
+
+// AddMem accumulates retired memory references.
+func (c *Counters) AddMem(refs uint64) { c.MemRefs += refs }
 
 // IPC returns instructions per cycle for a counter delta; zero cycles yield
 // zero (the paper's metric: IPC = instructions retired / cycles, §III).
@@ -84,15 +90,22 @@ func (h *Hardware) Peak() int { return h.peak }
 
 // EventSet is one active measurement: a snapshot of a process's counters.
 type EventSet struct {
-	startInstr, startCycles uint64
+	startInstr, startCycles, startMem uint64
 }
 
 // Start snapshots the counters, beginning a measurement.
 func Start(c *Counters) EventSet {
-	return EventSet{startInstr: c.Instructions, startCycles: c.Cycles}
+	return EventSet{startInstr: c.Instructions, startCycles: c.Cycles, startMem: c.MemRefs}
 }
 
 // Stop returns the instruction and cycle deltas since Start.
 func (es EventSet) Stop(c *Counters) (instrs, cycles uint64) {
 	return c.Instructions - es.startInstr, c.Cycles - es.startCycles
+}
+
+// StopFull returns the instruction, cycle, and memory-reference deltas since
+// Start (the online detector's window read; Stop keeps the two-counter shape
+// the static tuner uses).
+func (es EventSet) StopFull(c *Counters) (instrs, cycles, memRefs uint64) {
+	return c.Instructions - es.startInstr, c.Cycles - es.startCycles, c.MemRefs - es.startMem
 }

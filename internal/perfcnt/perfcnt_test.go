@@ -34,6 +34,24 @@ func TestEventSetDeltas(t *testing.T) {
 	}
 }
 
+func TestEventSetFullDeltas(t *testing.T) {
+	var c Counters
+	c.Add(100, 200)
+	c.AddMem(30)
+	es := Start(&c)
+	c.Add(40, 160)
+	c.AddMem(12)
+	i, cy, m := es.StopFull(&c)
+	if i != 40 || cy != 160 || m != 12 {
+		t.Errorf("full deltas = %d/%d/%d, want 40/160/12", i, cy, m)
+	}
+	// Stop on the same event set must agree with StopFull.
+	i2, cy2 := es.Stop(&c)
+	if i2 != i || cy2 != cy {
+		t.Errorf("Stop disagrees with StopFull: %d/%d vs %d/%d", i2, cy2, i, cy)
+	}
+}
+
 func TestHardwareBoundedSlots(t *testing.T) {
 	h := NewHardware(2)
 	if !h.TryAcquire() || !h.TryAcquire() {

@@ -16,6 +16,7 @@ import (
 	"phasetune/internal/amp"
 	"phasetune/internal/exec"
 	"phasetune/internal/metrics"
+	"phasetune/internal/online"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
 	"phasetune/internal/rng"
@@ -35,6 +36,14 @@ const (
 	// Overhead runs instrumented programs in all-cores mode (paper's time
 	// overhead methodology, §IV-B2).
 	Overhead
+	// Dynamic runs uninstrumented programs under the online phase detector
+	// (internal/online): periodic counter sampling, window classification,
+	// and runtime reassignment — the mark-free competitor of §V.
+	Dynamic
+	// Oracle runs instrumented programs with perfect-knowledge placement:
+	// every mark resolves to the statically computed Algorithm 2 choice with
+	// zero monitoring. The upper bound of the static-vs-dynamic showdown.
+	Oracle
 )
 
 // String names the mode.
@@ -46,6 +55,10 @@ func (m Mode) String() string {
 		return "tuned"
 	case Overhead:
 		return "overhead"
+	case Dynamic:
+		return "dynamic"
+	case Oracle:
+		return "oracle"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -67,8 +80,11 @@ type RunConfig struct {
 	// Params is the marking technique (used when Mode != Baseline).
 	Params transition.Params
 	// Tuning configures the runtime (used when Mode == Tuned; Overhead
-	// forces all-cores mode).
+	// forces all-cores mode). Oracle mode reads only Tuning.Delta.
 	Tuning tuning.Config
+	// Online configures the dynamic detector (used when Mode == Dynamic;
+	// zero fields take online.DefaultConfig values).
+	Online online.Config
 	// TypingOpts configures static block typing.
 	TypingOpts phase.Options
 	// TypingError injects clustering error (Fig. 7); fraction in [0,1].
@@ -106,6 +122,9 @@ type Result struct {
 	TotalInstructions uint64
 	// CounterDefers counts monitoring requests that found no free event set.
 	CounterDefers uint64
+	// Online holds the dynamic detector's monitoring statistics (nil unless
+	// the run used Mode Dynamic).
+	Online *online.Stats
 	// Images reports per-benchmark instrumentation statistics.
 	Images map[string]ImageStats
 	// DurationSec echoes the configured duration.
@@ -174,12 +193,21 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 
 	// Prepare one image per distinct benchmark. With a cache, preparation
 	// is a lookup after the first run that needs the same artifact.
+	// Dynamic runs execute unmodified binaries — that is the point of the
+	// online competitor.
 	spec := ImageSpec{
-		Baseline: cfg.Mode == Baseline,
+		Baseline: cfg.Mode == Baseline || cfg.Mode == Dynamic,
 		Params:   cfg.Params, Typing: topts,
 		ErrFrac: cfg.TypingError, ErrSeed: cfg.Seed ^ 0x5eed,
 	}
+	if cfg.Mode == Oracle {
+		// The oracle is perfect knowledge by definition: injected clustering
+		// error never reaches its images (OracleAssignments re-derives clean
+		// typing and requires the mark types to match it).
+		spec.ErrFrac = 0
+	}
 	images := map[*workload.Benchmark]*exec.Image{}
+	oracleMasks := map[*exec.Image]map[phase.Type]uint64{}
 	res := &Result{Images: map[string]ImageStats{}, DurationSec: cfg.DurationSec}
 	for _, slot := range cfg.Workload.Slots {
 		for _, b := range slot {
@@ -195,15 +223,31 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 			}
 			images[b] = art.Image
 			res.Images[b.Name()] = art.Stats
+			if cfg.Mode == Oracle {
+				masks, err := online.OracleAssignments(art.Image, topts, cost, machine, cfg.Tuning.Delta)
+				if err != nil {
+					return nil, fmt.Errorf("sim: oracle %s: %w", b.Name(), err)
+				}
+				oracleMasks[art.Image] = masks
+			}
 			if cfg.Events.OnImage != nil {
 				cfg.Events.OnImage(b.Name(), art.Stats, cached)
 			}
 		}
 	}
 
+	onlCfg := cfg.Online.Normalized()
+	if cfg.Mode == Dynamic {
+		sched.MonitorIntervalSec = onlCfg.TickSec
+	}
 	kernel, err := osched.NewKernel(machine, cost, sched)
 	if err != nil {
 		return nil, err
+	}
+	var monitor *online.Manager
+	if cfg.Mode == Dynamic {
+		monitor = online.NewManager(onlCfg, machine, kernel.Hardware)
+		kernel.Monitor = monitor
 	}
 	if cfg.Events.OnProgress != nil {
 		onProgress := cfg.Events.OnProgress
@@ -240,8 +284,10 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		switch {
 		case factory != nil:
 			hook = factory(k, img)
-		case cfg.Mode != Baseline:
+		case cfg.Mode == Tuned || cfg.Mode == Overhead:
 			hook = tuning.NewTuner(tcfg, machine, k.Hardware, img)
+		case cfg.Mode == Oracle:
+			hook = online.NewOracleHook(img, oracleMasks[img])
 		}
 		p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, slotSeeds[slot].Uint64(), hook)
 		k.Spawn(p, b.Name(), slot, 0)
@@ -270,6 +316,7 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 			Instructions:  t.Proc.Counters.Instructions,
 			Cycles:        t.Proc.Counters.Cycles,
 			MarksExecuted: t.Proc.MarksExecuted,
+			FinalAffinity: t.Affinity,
 		}
 		if t.State == osched.TaskExited {
 			stat.CompletionSec = osched.PsToSec(t.CompletionPs)
@@ -284,6 +331,10 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	}
 	res.TotalInstructions = kernel.TotalInstructions()
 	res.CounterDefers = kernel.Hardware.Defers()
+	if monitor != nil {
+		stats := monitor.Stats()
+		res.Online = &stats
+	}
 	return res, nil
 }
 
@@ -310,6 +361,7 @@ type IsolationSpec struct {
 	Mode    Mode
 	Params  transition.Params
 	Tuning  tuning.Config
+	Online  online.Config
 	Typing  phase.Options
 	Seed    uint64
 	// Workers bounds concurrent isolation runs (<=1 means sequential).
@@ -354,23 +406,37 @@ func IsolationContext(ctx context.Context, spec IsolationSpec) (map[string]Isola
 		tcfg.Mode = tuning.ModeAllCores
 	}
 
+	onlCfg := spec.Online.Normalized()
 	results := make([]IsolationResult, len(spec.Suite))
 	runOne := func(b *workload.Benchmark) (IsolationResult, error) {
 		art, _, err := prepare(spec.Cache, b.Prog, ImageSpec{
-			Baseline: spec.Mode == Baseline,
+			Baseline: spec.Mode == Baseline || spec.Mode == Dynamic,
 			Params:   spec.Params, Typing: topts, ErrSeed: spec.Seed,
 		}, spec.Cost)
 		if err != nil {
 			return IsolationResult{}, fmt.Errorf("sim: isolation %s: %w", b.Name(), err)
 		}
 		img := art.Image
-		kernel, err := osched.NewKernel(machine, spec.Cost, spec.Sched)
+		sched := spec.Sched
+		if spec.Mode == Dynamic {
+			sched.MonitorIntervalSec = onlCfg.TickSec
+		}
+		kernel, err := osched.NewKernel(machine, spec.Cost, sched)
 		if err != nil {
 			return IsolationResult{}, err
 		}
 		var hook exec.MarkHook
-		if spec.Mode != Baseline {
+		switch spec.Mode {
+		case Tuned, Overhead:
 			hook = tuning.NewTuner(tcfg, machine, kernel.Hardware, img)
+		case Dynamic:
+			kernel.Monitor = online.NewManager(onlCfg, machine, kernel.Hardware)
+		case Oracle:
+			masks, err := online.OracleAssignments(img, topts, spec.Cost, machine, tcfg.Delta)
+			if err != nil {
+				return IsolationResult{}, fmt.Errorf("sim: isolation oracle %s: %w", b.Name(), err)
+			}
+			hook = online.NewOracleHook(img, masks)
 		}
 		p := exec.NewProcess(kernel.NextPID(), img, &kernel.Cost, spec.Seed^uint64(len(b.Name())), hook)
 		task := kernel.Spawn(p, b.Name(), 0, 0)

@@ -28,7 +28,9 @@
 //     preparations of the same (program, technique, typing) are free;
 //   - Session, a configured environment built with functional options
 //     (NewSession(WithMachine(...), WithCost(...), ...)) whose RunContext
-//     executes one cancellable run through the session cache;
+//     executes one cancellable run through the session cache, under a
+//     selectable placement Policy — none, the paper's static marks, the
+//     online dynamic detector, or the perfect-knowledge oracle;
 //   - Session.Sweep, which fans a grid of RunSpecs across a bounded worker
 //     pool with deterministic, input-ordered results.
 //
@@ -56,6 +58,7 @@ import (
 	"phasetune/internal/experiments"
 	"phasetune/internal/instrument"
 	"phasetune/internal/metrics"
+	"phasetune/internal/online"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
 	"phasetune/internal/prog"
@@ -150,12 +153,37 @@ func Instrument(p *Program, params TechniqueParams, topts TypingOptions, cost Co
 
 // Dynamic tuning.
 type (
-	// TuningConfig parameterizes the runtime (δ threshold, sampling).
+	// TuningConfig parameterizes the static-mark runtime (δ threshold,
+	// sampling).
 	TuningConfig = tuning.Config
+	// OnlineConfig parameterizes the online phase detector (window size,
+	// tick period, classification threshold, reassignment policy) used by
+	// PolicyDynamic runs.
+	OnlineConfig = online.Config
+	// OnlineStats reports what the online detector did during a run
+	// (windows sampled, monitoring cycles charged, switches); see
+	// RunResult.Online.
+	OnlineStats = online.Stats
+	// OnlinePolicyKind selects the dynamic reassignment policy.
+	OnlinePolicyKind = online.PolicyKind
+)
+
+// Online reassignment policies (OnlineConfig.Policy).
+const (
+	// OnlineGreedy ranks tasks by smoothed IPC and grants fast-core slots
+	// to the highest ranks.
+	OnlineGreedy = online.Greedy
+	// OnlineProbe measures each detected phase on every core type and fixes
+	// its placement with Algorithm 2 — the mark-free temporal analogue of
+	// the static runtime.
+	OnlineProbe = online.Probe
 )
 
 // DefaultTuning returns the headline tuning configuration.
 func DefaultTuning() TuningConfig { return tuning.DefaultConfig() }
+
+// DefaultOnline returns the online detector's showdown operating point.
+func DefaultOnline() OnlineConfig { return online.DefaultConfig() }
 
 // Select is the paper's Algorithm 2: choose the core type for a phase given
 // per-type measured IPC and threshold delta.

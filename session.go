@@ -2,9 +2,81 @@ package phasetune
 
 import (
 	"context"
+	"fmt"
 
+	"phasetune/internal/exec"
+	"phasetune/internal/perfcnt"
 	"phasetune/internal/sim"
 )
+
+// Policy selects how a run places processes on the asymmetric cores — the
+// axis of the paper's central comparison (§I, §V).
+type Policy int
+
+const (
+	// PolicyDefault inherits the session's policy (or, when the session has
+	// none, defers to the spec's legacy Mode field).
+	PolicyDefault Policy = iota
+	// PolicyNone runs unmodified binaries under the stock asymmetry-unaware
+	// scheduler (the baseline).
+	PolicyNone
+	// PolicyStatic runs instrumented binaries with the paper's static phase
+	// marks and the Algorithm 2 runtime.
+	PolicyStatic
+	// PolicyDynamic runs unmodified binaries under the online phase
+	// detector: periodic counter sampling, window-signature classification,
+	// and runtime reassignment (internal/online).
+	PolicyDynamic
+	// PolicyOracle runs instrumented binaries with perfect-knowledge
+	// placement — zero monitoring, zero misprediction; the upper bound both
+	// techniques chase.
+	PolicyOracle
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDefault:
+		return "default"
+	case PolicyNone:
+		return "none"
+	case PolicyStatic:
+		return "static"
+	case PolicyDynamic:
+		return "dynamic"
+	case PolicyOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name (as accepted by cmd/ampsim -policy).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none", "baseline":
+		return PolicyNone, nil
+	case "static", "tuned":
+		return PolicyStatic, nil
+	case "dynamic", "online":
+		return PolicyDynamic, nil
+	case "oracle":
+		return PolicyOracle, nil
+	}
+	return PolicyDefault, fmt.Errorf("unknown policy %q (want none|static|dynamic|oracle)", s)
+}
+
+// mode lowers a policy onto the simulator run mode.
+func (p Policy) mode() RunMode {
+	switch p {
+	case PolicyStatic:
+		return sim.Tuned
+	case PolicyDynamic:
+		return sim.Dynamic
+	case PolicyOracle:
+		return sim.Oracle
+	}
+	return sim.Baseline
+}
 
 // Session is a configured simulation environment: machine, cost model,
 // scheduler, typing and tuning defaults, a shared artifact cache, and a
@@ -20,6 +92,8 @@ type Session struct {
 	sched   SchedulerConfig
 	typing  TypingOptions
 	tuning  TuningConfig
+	online  OnlineConfig
+	policy  Policy
 	cache   *ImageCache
 	workers int
 	events  Events
@@ -49,6 +123,16 @@ func WithTyping(t TypingOptions) SessionOption {
 // DefaultTuning). Individual runs may override it via RunSpec.Tuning.
 func WithTuning(t TuningConfig) SessionOption { return func(s *Session) { s.tuning = t } }
 
+// WithPolicy sets the session's default placement policy, used by every run
+// whose spec leaves Policy at PolicyDefault. A spec's own Policy always
+// wins; a spec that sets the legacy Mode field (non-Baseline) also wins.
+func WithPolicy(p Policy) SessionOption { return func(s *Session) { s.policy = p } }
+
+// WithOnline sets the default online-detector configuration used by
+// PolicyDynamic runs (default: DefaultOnline). Individual runs may override
+// it via RunSpec.Online.
+func WithOnline(c OnlineConfig) SessionOption { return func(s *Session) { s.online = c } }
+
 // WithCache shares an existing artifact cache (default: a fresh cache).
 // Pass the same cache to several sessions to share prepared images across
 // machines — images depend only on program content and the cost model.
@@ -73,6 +157,7 @@ func NewSession(opts ...SessionOption) *Session {
 		sched:   DefaultScheduler(),
 		typing:  DefaultTyping(),
 		tuning:  DefaultTuning(),
+		online:  DefaultOnline(),
 		cache:   NewImageCache(),
 	}
 	for _, opt := range opts {
@@ -94,12 +179,22 @@ type RunSpec struct {
 	Workload *Workload
 	// DurationSec is the run length in simulated seconds.
 	DurationSec float64
-	// Mode selects baseline/tuned/overhead (default Baseline).
+	// Policy selects the placement policy (none/static/dynamic/oracle).
+	// PolicyDefault inherits the session policy; when the session has none
+	// either, the legacy Mode field decides.
+	Policy Policy
+	// Mode selects baseline/tuned/overhead (default Baseline). Ignored when
+	// this spec or the session resolves to an explicit Policy.
 	Mode RunMode
-	// Params is the marking technique (used when Mode != Baseline).
+	// Params is the marking technique, used by instrumented runs (static
+	// marks, overhead mode, oracle). Policy-selected runs with zero Params
+	// default to BestParams.
 	Params TechniqueParams
 	// Tuning overrides the session tuning configuration when non-nil.
 	Tuning *TuningConfig
+	// Online overrides the session online-detector configuration when
+	// non-nil (PolicyDynamic runs).
+	Online *OnlineConfig
 	// TypingError injects clustering error (Fig. 7 methodology).
 	TypingError float64
 	// Seed drives workload process seeds and error injection.
@@ -112,15 +207,36 @@ func (s *Session) runConfig(spec RunSpec) sim.RunConfig {
 	if spec.Tuning != nil {
 		tcfg = *spec.Tuning
 	}
+	ocfg := s.online
+	if spec.Online != nil {
+		ocfg = *spec.Online
+	}
+
+	// Resolve the placement policy: the spec's Policy wins, then an
+	// explicit legacy Mode, then the session policy, then legacy Baseline.
+	mode := spec.Mode
+	policy := spec.Policy
+	if policy == PolicyDefault && mode == Baseline {
+		policy = s.policy
+	}
+	params := spec.Params
+	if policy != PolicyDefault {
+		mode = policy.mode()
+		if params == (TechniqueParams{}) && (policy == PolicyStatic || policy == PolicyOracle) {
+			params = BestParams()
+		}
+	}
+
 	cost := s.cost
 	sched := s.sched
 	return sim.RunConfig{
 		Machine: s.machine, Cost: &cost, Sched: &sched,
 		Workload:    spec.Workload,
 		DurationSec: spec.DurationSec,
-		Mode:        spec.Mode,
-		Params:      spec.Params,
+		Mode:        mode,
+		Params:      params,
 		Tuning:      tcfg,
+		Online:      ocfg,
 		TypingOpts:  s.typing,
 		TypingError: spec.TypingError,
 		Seed:        spec.Seed,
@@ -147,4 +263,31 @@ func (s *Session) Run(spec RunSpec) (*RunResult, error) {
 // package-level Instrument helper.
 func (s *Session) Instrument(p *Program, params TechniqueParams) (*Artifact, error) {
 	return s.cache.Get(p, ImageSpec{Params: params, Typing: s.typing}, s.cost)
+}
+
+// MeasureIPC runs the program to completion alone on each of the session
+// machine's core types (full cache share, no instrumentation) and returns
+// the measured IPC per type — the signal Algorithm 2 consumes. The image is
+// prepared through the session cache; seed drives branch outcomes, so equal
+// seeds give bit-identical measurements.
+func (s *Session) MeasureIPC(p *Program, seed uint64) ([]float64, error) {
+	art, err := s.cache.Get(p, ImageSpec{Baseline: true}, s.cost)
+	if err != nil {
+		return nil, err
+	}
+	cost := s.cost
+	pars := exec.ParamsFor(cost, s.machine)
+	ipcs := make([]float64, len(pars))
+	for t := range pars {
+		coreID := 0
+		if ids := s.machine.CoresOfType(pars[t].Type); len(ids) > 0 {
+			coreID = ids[0]
+		}
+		proc := exec.NewProcess(1, art.Image, &cost, seed, nil)
+		es := perfcnt.Start(&proc.Counters)
+		proc.RunIsolated(&pars[t], coreID, s.machine.L2s[0].SizeKB, 0)
+		instrs, cycles := es.Stop(&proc.Counters)
+		ipcs[t] = perfcnt.IPC(instrs, cycles)
+	}
+	return ipcs, nil
 }
