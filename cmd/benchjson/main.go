@@ -1,18 +1,25 @@
 // Command benchjson runs the repository's headline performance benchmarks
-// and writes them as machine-readable JSON (default BENCH_sweep.json), so
-// the performance trajectory is tracked PR-over-PR instead of living only
-// in transient `go test -bench` output.
+// and appends them to a machine-readable history (default BENCH_sweep.json),
+// so the performance trajectory accumulates PR-over-PR instead of living
+// only in transient `go test -bench` output.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_sweep.json] [-reps 3]
+//	benchjson [-out BENCH_sweep.json] [-reps 3] [-shards N]
 //
-// Three timings are recorded, mirroring the root bench harness:
+// Timings recorded, mirroring the root bench harness:
 //
 //   - grid_sequential: the legacy one-shot Run loop over the technique
 //     grid (no artifact sharing);
 //   - grid_sweep: the identical grid through Session.Sweep (bounded worker
 //     pool + shared image cache);
+//   - grid_sweep_sharded (with -shards N): the identical grid through the
+//     distributed fabric (Session.SweepSharded) with N local workers —
+//     wire-format specs, per-worker caches, deterministic merge. Note the
+//     protocols differ on repetition: grid_sweep reuses one session, so
+//     reps after the first run cache-warm, while every sharded rep builds
+//     fresh per-worker caches (workers live per call). Compare both
+//     against grid_sequential (always cold), not against each other;
 //   - workload_second_baseline / workload_second_dynamic: the cost of
 //     simulating one loaded second under the stock scheduler and under the
 //     online phase detector (the dynamic subsystem's overhead on the
@@ -20,6 +27,10 @@
 //
 // Each benchmark runs -reps times and reports the minimum (the standard
 // noise-rejection choice for wall-clock microbenchmarks).
+//
+// The output file is a history (schema phasetune-bench-history/v1): each
+// invocation appends one timestamped entry. A pre-history file holding a
+// single phasetune-bench/v1 report is absorbed as the first entry.
 package main
 
 import (
@@ -42,20 +53,36 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the file format (schema phasetune-bench/v1).
-type Report struct {
-	Schema     string             `json:"schema"`
+// Entry is one benchjson invocation (the old phasetune-bench/v1 Report
+// plus a timestamp).
+type Entry struct {
+	Schema     string             `json:"schema,omitempty"`
+	Timestamp  string             `json:"timestamp,omitempty"`
 	GoVersion  string             `json:"go_version"`
 	MaxProcs   int                `json:"gomaxprocs"`
+	Shards     int                `json:"shards,omitempty"`
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
 }
 
+// History is the file format: one entry per invocation, oldest first.
+type History struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// historySchema and legacySchema identify the two on-disk formats.
+const (
+	historySchema = "phasetune-bench-history/v1"
+	legacySchema  = "phasetune-bench/v1"
+)
+
 func main() {
-	out := flag.String("out", "BENCH_sweep.json", "output path")
+	out := flag.String("out", "BENCH_sweep.json", "output path (history is appended)")
 	reps := flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
+	shards := flag.Int("shards", 0, "also time the grid through the distributed fabric with N local workers")
 	flag.Parse()
-	if err := run(*out, *reps); err != nil {
+	if err := run(*out, *reps, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -77,8 +104,9 @@ func timeMin(reps int, f func() error) (time.Duration, error) {
 }
 
 // gridSpecs mirrors the root sweep benchmark: 3 technique variants x 2
-// seeds, 4-slot workloads, 10 simulated seconds.
-func gridSpecs(suite []*phasetune.Benchmark) []phasetune.RunSpec {
+// seeds, 4-slot workloads, 10 simulated seconds. Workloads are described
+// as Queues so the identical grid also runs through the fabric.
+func gridSpecs() []phasetune.RunSpec {
 	variants := []phasetune.TechniqueParams{
 		phasetune.BestParams(),
 		{Technique: phasetune.BasicBlock, MinSize: 15, PropagateThroughUntyped: true},
@@ -86,10 +114,10 @@ func gridSpecs(suite []*phasetune.Benchmark) []phasetune.RunSpec {
 	}
 	var specs []phasetune.RunSpec
 	for _, seed := range []uint64{1, 2} {
-		w := phasetune.NewWorkload(suite, 4, 8, seed)
+		q := &phasetune.WorkloadSpec{Slots: 4, QueueLen: 8, Seed: seed}
 		for _, params := range variants {
 			specs = append(specs, phasetune.RunSpec{
-				Workload: w, DurationSec: 10, Mode: phasetune.Tuned,
+				Queues: q, DurationSec: 10, Mode: phasetune.Tuned,
 				Params: params, Seed: seed,
 			})
 		}
@@ -97,23 +125,56 @@ func gridSpecs(suite []*phasetune.Benchmark) []phasetune.RunSpec {
 	return specs
 }
 
-func run(out string, reps int) error {
+// loadHistory reads the existing output file, absorbing a legacy
+// single-report file as the first entry. Unreadable or unrecognized
+// content starts a fresh history (the file is a derived artifact).
+func loadHistory(path string) History {
+	h := History{Schema: historySchema}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return h
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return h
+	}
+	switch probe.Schema {
+	case historySchema:
+		var old History
+		if json.Unmarshal(data, &old) == nil {
+			h.Entries = old.Entries
+		}
+	case legacySchema:
+		var legacy Entry
+		if json.Unmarshal(data, &legacy) == nil {
+			legacy.Schema = legacySchema
+			h.Entries = []Entry{legacy}
+		}
+	}
+	return h
+}
+
+func run(out string, reps, shards int) error {
 	suite, err := phasetune.Suite()
 	if err != nil {
 		return err
 	}
-	specs := gridSpecs(suite)
-	report := Report{
-		Schema:    "phasetune-bench/v1",
+	specs := gridSpecs()
+	entry := Entry{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
+		Shards:    shards,
 		Derived:   map[string]float64{},
 	}
 
 	seq, err := timeMin(reps, func() error {
 		for _, spec := range specs {
+			w := phasetune.NewWorkload(suite, spec.Queues.Slots, spec.Queues.QueueLen, spec.Queues.Seed)
 			if _, err := phasetune.Run(phasetune.RunConfig{
-				Workload: spec.Workload, DurationSec: spec.DurationSec,
+				Workload: w, DurationSec: spec.DurationSec,
 				Mode: spec.Mode, Params: spec.Params,
 				Tuning:     phasetune.DefaultTuning(),
 				TypingOpts: phasetune.DefaultTyping(), Seed: spec.Seed,
@@ -126,7 +187,7 @@ func run(out string, reps int) error {
 	if err != nil {
 		return err
 	}
-	report.Benchmarks = append(report.Benchmarks, Benchmark{
+	entry.Benchmarks = append(entry.Benchmarks, Benchmark{
 		Name: "grid_sequential", NsPerOp: seq.Nanoseconds(), Reps: reps,
 	})
 
@@ -139,7 +200,7 @@ func run(out string, reps int) error {
 		return err
 	}
 	stats := sess.CacheStats()
-	report.Benchmarks = append(report.Benchmarks, Benchmark{
+	entry.Benchmarks = append(entry.Benchmarks, Benchmark{
 		Name: "grid_sweep", NsPerOp: swp.Nanoseconds(), Reps: reps,
 		Metrics: map[string]float64{
 			"pipeline_runs": float64(stats.Misses),
@@ -147,7 +208,25 @@ func run(out string, reps int) error {
 		},
 	})
 	if swp > 0 {
-		report.Derived["sweep_speedup"] = float64(seq) / float64(swp)
+		entry.Derived["sweep_speedup"] = float64(seq) / float64(swp)
+	}
+
+	if shards > 1 {
+		shardSess := phasetune.NewSession()
+		shd, err := timeMin(reps, func() error {
+			_, err := shardSess.SweepSharded(context.Background(), specs, shards)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+			Name: "grid_sweep_sharded", NsPerOp: shd.Nanoseconds(), Reps: reps,
+			Metrics: map[string]float64{"shards": float64(shards)},
+		})
+		if shd > 0 {
+			entry.Derived["sharded_speedup"] = float64(seq) / float64(shd)
+		}
 	}
 
 	w := phasetune.NewWorkload(suite, 8, 64, 1)
@@ -168,12 +247,14 @@ func run(out string, reps int) error {
 		if err != nil {
 			return err
 		}
-		report.Benchmarks = append(report.Benchmarks, Benchmark{
+		entry.Benchmarks = append(entry.Benchmarks, Benchmark{
 			Name: bench.name, NsPerOp: d.Nanoseconds(), Reps: reps,
 		})
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
+	hist := loadHistory(out)
+	hist.Entries = append(hist.Entries, entry)
+	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -181,7 +262,7 @@ func run(out string, reps int) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks, sweep speedup %.2fx)\n",
-		out, len(report.Benchmarks), report.Derived["sweep_speedup"])
+	fmt.Printf("wrote %s (entry %d, %d benchmarks, sweep speedup %.2fx)\n",
+		out, len(hist.Entries), len(entry.Benchmarks), entry.Derived["sweep_speedup"])
 	return nil
 }

@@ -4,15 +4,19 @@
 // Usage:
 //
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
-//	             switchcost|typing|threecore|showdown|ablations]
+//	             switchcost|typing|threecore|showdown|window|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
-//	            [-workers N] [-cachestats]
+//	            [-workers N] [-shards N] [-cachestats]
 //
 // Each experiment prints a paper-style table plus the paper's reported
 // numbers where applicable. -quick shrinks workload sizes for a fast pass.
 // All drivers run on the concurrent sweep engine with one shared artifact
 // cache for the whole invocation: -workers bounds the pool (0 = GOMAXPROCS)
 // and -cachestats reports how often the static pipeline was actually run.
+// -shards N routes every sweep through the distributed fabric with N local
+// workers instead of the in-process pool — results are byte-identical, and
+// the same campaigns can be served to real worker processes with
+// cmd/sweepd.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	seedsFlag := flag.String("seeds", "", "comma-separated workload seeds (default 5,42,99)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "route sweeps through the distributed fabric with N local workers")
 	cachestats := flag.Bool("cachestats", false, "print artifact cache statistics at exit")
 	flag.Parse()
 
@@ -51,6 +56,7 @@ func main() {
 		cfg.DurationSec = *duration
 	}
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 	if *seedsFlag != "" {
 		var seeds []uint64
 		for _, s := range strings.Split(*seedsFlag, ",") {
@@ -81,6 +87,7 @@ func main() {
 		{"typing", typing},
 		{"threecore", threecore},
 		{"showdown", showdown},
+		{"window", window},
 		{"ablations", ablations},
 	} {
 		if all || *runFlag == exp.name {
@@ -327,6 +334,24 @@ func showdown(cfg experiments.Config) error {
 	}
 	fmt.Printf("dynamic/probe with 4 bounded event sets: %d deferrals, %d windows, tput %+.2f%%\n",
 		cc.Defers, cc.Windows, cc.ThroughputPct)
+	return nil
+}
+
+func window(cfg experiments.Config) error {
+	header("Window-size sweep — online WindowInstrs vs throughput and switches (dynamic Fig. 6 analogue)")
+	rows, err := experiments.WindowSweep(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	t := textplot.NewTable("window", "policy", "tput%", "online-switches", "windows", "monitor%")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.WindowInstrs), r.Policy.String(),
+			fmt.Sprintf("%+.2f", r.ThroughputPct),
+			fmt.Sprintf("%.0f", r.OnlineSwitches),
+			fmt.Sprintf("%.0f", r.Windows),
+			fmt.Sprintf("%.3f", r.MonitorPct))
+	}
+	fmt.Print(t.String())
 	return nil
 }
 

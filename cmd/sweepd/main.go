@@ -1,0 +1,275 @@
+// Command sweepd runs the distributed sweep fabric: a coordinator that
+// serves an experiment campaign to workers over HTTP/JSON, and workers
+// that lease, execute, and commit runs. The merged output is byte-identical
+// to executing the same campaign sequentially in one process — sweepd can
+// prove it to itself with -verify.
+//
+// Coordinator:
+//
+//	sweepd -coordinator [-addr 127.0.0.1:7077]
+//	       [-campaign showdown|grid|window] [-machine quad|tri|hex]
+//	       [-quick] [-slots N] [-duration SEC] [-seeds a,b,c]
+//	       [-chunk N] [-lease-ttl 30s] [-spawn N] [-verify] [-out FILE]
+//
+// Worker:
+//
+//	sweepd -worker -connect http://127.0.0.1:7077 [-name NAME]
+//
+// -spawn N forks N worker subprocesses of this same binary against the
+// coordinator, so a one-machine fleet is a single command:
+//
+//	sweepd -coordinator -campaign showdown -quick -spawn 3 -verify
+//
+// -verify reruns the campaign sequentially in-process after the fabric
+// finishes and compares the canonical encodings byte for byte; any
+// mismatch exits non-zero. Workers may also run on other machines —
+// everything a run needs crosses the wire as plain JSON.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	osexec "os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/dist"
+	"phasetune/internal/experiments"
+	"phasetune/internal/sim"
+)
+
+func main() {
+	var (
+		coordinator = flag.Bool("coordinator", false, "run as coordinator")
+		worker      = flag.Bool("worker", false, "run as worker")
+		addr        = flag.String("addr", "127.0.0.1:7077", "coordinator listen address")
+		connect     = flag.String("connect", "", "coordinator URL (worker mode)")
+		name        = flag.String("name", "", "worker label")
+		campaign    = flag.String("campaign", "showdown", "campaign to serve: showdown|grid|window")
+		machineFlag = flag.String("machine", "quad", "showdown machine: quad|tri|hex")
+		quick       = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		slots       = flag.Int("slots", 0, "workload slots (0 = default)")
+		duration    = flag.Float64("duration", 0, "workload duration in simulated seconds (0 = default)")
+		seedsFlag   = flag.String("seeds", "", "comma-separated workload seeds")
+		chunk       = flag.Int("chunk", 1, "specs per lease")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat")
+		spawn       = flag.Int("spawn", 0, "fork N local worker subprocesses")
+		verify      = flag.Bool("verify", false, "rerun sequentially and require byte-identical results")
+		out         = flag.String("out", "", "write merged results JSON to this path")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *coordinator && !*worker:
+		err = runCoordinator(coordOpts{
+			addr: *addr, campaign: *campaign, machine: *machineFlag,
+			quick: *quick, slots: *slots, duration: *duration, seeds: *seedsFlag,
+			chunk: *chunk, leaseTTL: *leaseTTL, spawn: *spawn, verify: *verify, out: *out,
+		})
+	case *worker && !*coordinator:
+		if *connect == "" {
+			err = fmt.Errorf("-worker needs -connect URL")
+		} else {
+			err = runWorker(*connect, *name)
+		}
+	default:
+		err = fmt.Errorf("pick exactly one of -coordinator or -worker")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+type coordOpts struct {
+	addr, campaign, machine, seeds, out string
+	quick                               bool
+	slots                               int
+	duration                            float64
+	chunk, spawn                        int
+	leaseTTL                            time.Duration
+	verify                              bool
+}
+
+// config assembles the experiment configuration the campaign is cut from.
+func config(o coordOpts) (experiments.Config, error) {
+	cfg, err := experiments.Default()
+	if err != nil {
+		return cfg, err
+	}
+	if o.quick {
+		cfg = cfg.Scale(8, 200, []uint64{5})
+	}
+	if o.slots > 0 {
+		cfg.Slots = o.slots
+	}
+	if o.duration > 0 {
+		cfg.DurationSec = o.duration
+	}
+	if o.seeds != "" {
+		var seeds []uint64
+		for _, s := range strings.Split(o.seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad seed %q: %w", s, err)
+			}
+			seeds = append(seeds, v)
+		}
+		cfg.Seeds = seeds
+	}
+	return cfg, nil
+}
+
+// buildCampaign cuts the selected campaign from the configuration.
+func buildCampaign(o coordOpts, cfg experiments.Config) (dist.Campaign, error) {
+	switch o.campaign {
+	case "showdown":
+		var m *amp.Machine
+		switch o.machine {
+		case "quad":
+			m = amp.Quad2Fast2Slow()
+		case "tri":
+			m = amp.ThreeCore2Fast1Slow()
+		case "hex":
+			m = amp.Hex2Big2Medium2Little()
+		default:
+			return dist.Campaign{}, fmt.Errorf("unknown machine %q (want quad|tri|hex)", o.machine)
+		}
+		return experiments.ShowdownCampaign(cfg, m), nil
+	case "grid":
+		return experiments.TechniqueCampaign(cfg), nil
+	case "window":
+		return experiments.WindowCampaign(cfg, nil, nil), nil
+	}
+	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window)", o.campaign)
+}
+
+func runCoordinator(o coordOpts) error {
+	cfg, err := config(o)
+	if err != nil {
+		return err
+	}
+	camp, err := buildCampaign(o, cfg)
+	if err != nil {
+		return err
+	}
+	total := len(camp.Specs)
+	coord, err := dist.NewCoordinator(camp, dist.Options{
+		ChunkSize: o.chunk,
+		LeaseTTL:  o.leaseTTL,
+		OnResult: func(index int, res *sim.Result) {
+			fmt.Printf("sweepd: spec %d/%d committed (%d tasks)\n", index+1, total, len(res.Tasks))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: dist.NewHandler(coord)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("sweepd: coordinating %q (%d specs) on %s\n", o.campaign, total, url)
+
+	var workers []*osexec.Cmd
+	if o.spawn > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < o.spawn; i++ {
+			cmd := osexec.Command(exe, "-worker", "-connect", url, "-name", fmt.Sprintf("spawn-%d", i))
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawn worker %d: %w", i, err)
+			}
+			workers = append(workers, cmd)
+		}
+	}
+
+	if _, err := coord.Wait(context.Background()); err != nil {
+		return err
+	}
+	// Keep serving until every registered worker heard "done" (bounded),
+	// then collect spawned subprocesses.
+	quiesce := time.Now().Add(10 * time.Second)
+	for !coord.Quiesced() && time.Now().Before(quiesce) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, cmd := range workers {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("spawned worker %d: %w", i, err)
+		}
+	}
+	raws, err := coord.RawResults()
+	if err != nil {
+		return err
+	}
+	p := coord.Progress()
+	fmt.Printf("sweepd: campaign complete: %d specs, %d workers, %d expired leases, %d duplicate commits\n",
+		p.Done, p.Workers, p.ExpiredLeases, p.DuplicateCommits)
+
+	if o.out != "" {
+		blob, err := json.MarshalIndent(raws, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("sweepd: wrote %s\n", o.out)
+	}
+	if o.verify {
+		return verifyAgainstSequential(camp, raws)
+	}
+	return nil
+}
+
+// verifyAgainstSequential reruns the campaign in-process and demands the
+// fabric's committed bytes match the sequential encodings exactly — the
+// deterministic-merge contract, checked end to end.
+func verifyAgainstSequential(camp dist.Campaign, raws []json.RawMessage) error {
+	suite, err := camp.Env.Suite()
+	if err != nil {
+		return err
+	}
+	cache := sim.NewImageCache()
+	for i, sp := range camp.Specs {
+		res, err := sim.Run(camp.Env.RunConfig(sp, suite, cache))
+		if err != nil {
+			return fmt.Errorf("verify spec %d: %w", i, err)
+		}
+		want, err := dist.EncodeResult(res)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(want, raws[i]) {
+			return fmt.Errorf("verify spec %d: fabric result differs from sequential run", i)
+		}
+	}
+	fmt.Printf("sweepd: verified %d fabric results byte-identical to sequential runs\n", len(raws))
+	return nil
+}
+
+func runWorker(url, name string) error {
+	w := &dist.Worker{Name: name, Transport: &dist.Client{BaseURL: url}}
+	fmt.Printf("sweepd: worker %q connecting to %s\n", name, url)
+	if err := w.Run(context.Background()); err != nil {
+		return err
+	}
+	fmt.Printf("sweepd: worker %q done\n", name)
+	return nil
+}

@@ -1,0 +1,152 @@
+package phasetune_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"phasetune"
+)
+
+// shardedGrid mirrors sweepGrid in serializable form: Queues instead of a
+// built Workload, plus a dynamic-policy cell so policy resolution crosses
+// the wire too.
+func shardedGrid() []phasetune.RunSpec {
+	loop45 := phasetune.BestParams()
+	var specs []phasetune.RunSpec
+	for _, seed := range []uint64{1, 2} {
+		q := &phasetune.WorkloadSpec{Slots: 3, QueueLen: 4, Seed: seed}
+		specs = append(specs,
+			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyNone, Seed: seed},
+			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyStatic, Params: loop45, Seed: seed},
+			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyDynamic, Seed: seed},
+		)
+	}
+	return specs
+}
+
+// TestSweepShardedMatchesSweep is the public fabric contract: the sharded
+// sweep (wire specs, per-worker caches, deterministic merge) returns
+// results byte-identical to the local Sweep of the same specs.
+func TestSweepShardedMatchesSweep(t *testing.T) {
+	specs := shardedGrid()
+	sess := phasetune.NewSession()
+	want, err := sess.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		got, err := phasetune.NewSession().SweepSharded(context.Background(), specs, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d results, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if string(encode(t, got[i])) != string(encode(t, want[i])) {
+				t.Errorf("shards=%d: spec %d differs from Sweep", shards, i)
+			}
+		}
+	}
+}
+
+// TestSweepShardedRejectsBuiltWorkloads: specs that cannot cross a process
+// boundary are rejected up front.
+func TestSweepShardedRejectsBuiltWorkloads(t *testing.T) {
+	suite, err := phasetune.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := phasetune.NewSession()
+	_, err = sess.SweepSharded(context.Background(), []phasetune.RunSpec{
+		{Workload: phasetune.NewWorkload(suite, 2, 2, 1), DurationSec: 1, Seed: 1},
+	}, 2)
+	if err == nil {
+		t.Fatal("SweepSharded accepted a built *Workload")
+	}
+	_, err = sess.SweepSharded(context.Background(), []phasetune.RunSpec{
+		{DurationSec: 1, Seed: 1},
+	}, 2)
+	if err == nil {
+		t.Fatal("SweepSharded accepted a spec with no workload at all")
+	}
+}
+
+// TestQueuesSpecsRunLocally: Queues-based specs work through the plain
+// local path too (RunContext builds the workload from the session suite),
+// and give the same bytes as the equivalent built-Workload spec.
+func TestQueuesSpecsRunLocally(t *testing.T) {
+	suite, err := phasetune.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := phasetune.NewSession()
+	viaQueues, err := sess.Run(phasetune.RunSpec{
+		Queues: &phasetune.WorkloadSpec{Slots: 2, QueueLen: 2, Seed: 7}, DurationSec: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWorkload, err := sess.Run(phasetune.RunSpec{
+		Workload: phasetune.NewWorkload(suite, 2, 2, 7), DurationSec: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(encode(t, viaQueues)) != string(encode(t, viaWorkload)) {
+		t.Error("Queues-based run differs from built-Workload run")
+	}
+}
+
+// TestServeAndWorkLoopback drives the full public fabric over loopback
+// HTTP: Serve coordinates, two Work goroutines execute, and the merged
+// results match a local Sweep byte for byte.
+func TestServeAndWorkLoopback(t *testing.T) {
+	specs := shardedGrid()
+	want, err := phasetune.NewSession().Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	type serveOut struct {
+		results []*phasetune.RunResult
+		err     error
+	}
+	serveCh := make(chan serveOut, 1)
+	go func() {
+		results, err := phasetune.Serve(ctx, phasetune.NewSession(), specs, phasetune.ServeOptions{
+			Addr:     "127.0.0.1:0",
+			OnListen: func(addr string) { addrCh <- addr },
+		})
+		serveCh <- serveOut{results, err}
+	}()
+	addr := <-addrCh
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := phasetune.Work(ctx, "http://"+addr, phasetune.WorkOptions{Name: "t"}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	out := <-serveCh
+	wg.Wait()
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if len(out.results) != len(want) {
+		t.Fatalf("%d results, want %d", len(out.results), len(want))
+	}
+	for i := range out.results {
+		if string(encode(t, out.results[i])) != string(encode(t, want[i])) {
+			t.Errorf("spec %d: fabric result differs from Sweep", i)
+		}
+	}
+}

@@ -15,7 +15,7 @@
 // the *nominal* frequency used to convert nanosecond latencies to cycles, so
 // all cycle-level ratios match the real machine; only absolute durations are
 // scaled (uniformly), which preserves every relative quantity the paper
-// reports. See DESIGN.md §6.
+// reports. See DESIGN.md §8.
 package amp
 
 import (
@@ -222,6 +222,38 @@ func ThreeCore2Fast1Slow() *Machine {
 		L2s: []L2Group{
 			{SizeKB: 4096, Cores: []int{0, 1}},
 			{SizeKB: 2048, Cores: []int{2}},
+		},
+	}
+}
+
+// Hex2Big2Medium2Little is the three-type generalization the paper leaves
+// to future work (§VI-C argues the technique scales by grouping cores into
+// a small number of types): six cores in big/medium/little pairs, each
+// pair sharing an L2. Frequencies follow the paper's underclocking
+// methodology — one microarchitecture, three clocks — so IPC keeps its
+// discriminating role and Algorithm 2's Select generalizes unchanged over
+// the third type. The little pair gets a half-size L2, matching the
+// tri-core preset's slow core.
+func Hex2Big2Medium2Little() *Machine {
+	return &Machine{
+		Name: "hex-2b2m2l",
+		Types: []CoreType{
+			{Name: "big", FreqGHz: 2.4, CyclesPerSec: scaled(2.4)},
+			{Name: "medium", FreqGHz: 2.0, CyclesPerSec: scaled(2.0)},
+			{Name: "little", FreqGHz: 1.6, CyclesPerSec: scaled(1.6)},
+		},
+		Cores: []Core{
+			{ID: 0, Type: 0, L2: 0},
+			{ID: 1, Type: 0, L2: 0},
+			{ID: 2, Type: 1, L2: 1},
+			{ID: 3, Type: 1, L2: 1},
+			{ID: 4, Type: 2, L2: 2},
+			{ID: 5, Type: 2, L2: 2},
+		},
+		L2s: []L2Group{
+			{SizeKB: 4096, Cores: []int{0, 1}},
+			{SizeKB: 4096, Cores: []int{2, 3}},
+			{SizeKB: 2048, Cores: []int{4, 5}},
 		},
 	}
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestPresetsValid(t *testing.T) {
-	for _, m := range []*Machine{Quad2Fast2Slow(), ThreeCore2Fast1Slow(), Symmetric(4, 2.0), Symmetric(3, 1.6)} {
+	for _, m := range []*Machine{Quad2Fast2Slow(), ThreeCore2Fast1Slow(), Hex2Big2Medium2Little(), Symmetric(4, 2.0), Symmetric(3, 1.6)} {
 		if err := m.Validate(); err != nil {
 			t.Errorf("%s: %v", m.Name, err)
 		}
@@ -37,6 +37,34 @@ func TestQuadShape(t *testing.T) {
 	r := m.Types[FastType].FreqGHz / m.Types[SlowType].FreqGHz
 	if math.Abs(r-1.5) > 1e-12 {
 		t.Errorf("frequency ratio = %g, want 1.5", r)
+	}
+}
+
+func TestHexShape(t *testing.T) {
+	m := Hex2Big2Medium2Little()
+	if m.NumCores() != 6 {
+		t.Fatalf("cores = %d, want 6", m.NumCores())
+	}
+	if len(m.Types) != 3 {
+		t.Fatalf("types = %d, want 3", len(m.Types))
+	}
+	for ty := 0; ty < 3; ty++ {
+		ids := m.CoresOfType(CoreTypeID(ty))
+		if len(ids) != 2 {
+			t.Fatalf("type %d has cores %v, want 2", ty, ids)
+		}
+		// Same-type pairs share an L2, and no pair shares with another.
+		if m.Cores[ids[0]].L2 != m.Cores[ids[1]].L2 {
+			t.Errorf("type %d cores do not share an L2", ty)
+		}
+	}
+	// Clocks strictly descend big > medium > little, so IPC ordering and
+	// Algorithm 2's frequency tie-break stay well-defined over 3 types.
+	for i := 1; i < len(m.Types); i++ {
+		if m.Types[i].FreqGHz >= m.Types[i-1].FreqGHz {
+			t.Errorf("type %d clock %.2f not below type %d clock %.2f",
+				i, m.Types[i].FreqGHz, i-1, m.Types[i-1].FreqGHz)
+		}
 	}
 }
 

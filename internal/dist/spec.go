@@ -1,0 +1,151 @@
+// Package dist is the distributed sweep fabric: it shards an experiment
+// campaign — a grid of run specifications sharing one environment — across
+// worker processes and merges the results deterministically.
+//
+// The design leans entirely on the property the sweep engine already
+// guarantees: every run is a pure function of its RunConfig, and both the
+// configuration and the result are plain data. The fabric therefore never
+// moves programs, images, or simulator state between processes; it moves
+// *recipes*. A Campaign carries the serialized environment (machine, cost
+// model, scheduler, typing — EnvSpec) plus one wire Spec per run (workload
+// construction parameters, mode, technique, tuning, online config, seed).
+// A worker rebuilds the benchmark suite from the environment — suite
+// generation is deterministic in (cost, machine) — executes its leased
+// specs, and commits each result in a canonical encoding. Merging is then
+// trivially deterministic: results are keyed by spec index, and any two
+// successful executions of the same index commit identical bytes, so the
+// coordinator can accept the first commit and reject duplicates without
+// ever comparing payloads.
+//
+// The failure model is crash-stop workers with at-most-once commit per
+// spec index: leases expire when a worker stops heartbeating, expired
+// indices are re-dispatched, and a straggler that commits after its lease
+// expired still wins if it commits first (its result is byte-identical to
+// the re-dispatched worker's by construction). A run that fails
+// deterministically aborts the whole campaign, mirroring sim.Sweep.
+//
+// Two transports serve the same protocol: LocalTransport calls the
+// coordinator in-process (the whole fabric is unit-testable without
+// sockets), and Client/NewHandler speak HTTP/JSON for real multi-process
+// deployments (cmd/sweepd).
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/exec"
+	"phasetune/internal/online"
+	"phasetune/internal/osched"
+	"phasetune/internal/phase"
+	"phasetune/internal/sim"
+	"phasetune/internal/transition"
+	"phasetune/internal/tuning"
+	"phasetune/internal/workload"
+)
+
+// EnvSpec is the serialized session environment: everything a worker needs
+// to rebuild the simulation stack that is shared by every run of a
+// campaign. Per-run knobs travel in each Spec instead. All fields are
+// plain data and JSON round-trips are exact (counters stay far below 2^53;
+// floats use Go's shortest round-trip encoding).
+type EnvSpec struct {
+	// Machine is the hardware description.
+	Machine amp.Machine `json:"machine"`
+	// Cost is the shared cost model.
+	Cost exec.CostModel `json:"cost"`
+	// Sched is the scheduler configuration.
+	Sched osched.Config `json:"sched"`
+	// Typing configures static block typing.
+	Typing phase.Options `json:"typing"`
+}
+
+// Validate checks the environment is structurally sound.
+func (e *EnvSpec) Validate() error {
+	if err := e.Machine.Validate(); err != nil {
+		return fmt.Errorf("dist: env: %w", err)
+	}
+	return nil
+}
+
+// Suite rebuilds the benchmark suite for this environment. Suite
+// generation is a pure function of (cost, machine), so every worker
+// regenerates programs bit-identical to the coordinator's.
+func (e *EnvSpec) Suite() ([]*workload.Benchmark, error) {
+	m := e.Machine
+	return workload.Suite(e.Cost, &m)
+}
+
+// Spec is one run of a campaign in wire form: sim.RunConfig minus the
+// shared environment and minus anything process-local (built workloads,
+// caches, hooks). The workload travels as its construction parameters
+// (workload.Spec); together with an EnvSpec it lowers to a RunConfig.
+type Spec struct {
+	// Queues describes the workload by construction.
+	Queues workload.Spec `json:"queues"`
+	// DurationSec is the run length in simulated seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// Mode selects baseline/tuned/overhead/dynamic/oracle execution.
+	Mode sim.Mode `json:"mode"`
+	// Params is the marking technique for instrumented modes.
+	Params transition.Params `json:"params"`
+	// Tuning configures the static-mark runtime.
+	Tuning tuning.Config `json:"tuning"`
+	// Online configures the dynamic detector (Mode == Dynamic).
+	Online online.Config `json:"online"`
+	// TypingError injects clustering error (Fig. 7 methodology).
+	TypingError float64 `json:"typing_error"`
+	// Seed drives workload process seeds and error injection.
+	Seed uint64 `json:"seed"`
+}
+
+// RunConfig lowers a wire spec onto the environment. The machine, cost,
+// and scheduler are copied so the returned config is self-contained; suite
+// must be the environment's suite (EnvSpec.Suite or an equal generation).
+func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.ImageCache) sim.RunConfig {
+	m := e.Machine
+	cost := e.Cost
+	sched := e.Sched
+	return sim.RunConfig{
+		Machine: &m, Cost: &cost, Sched: &sched,
+		Workload:    sp.Queues.Build(suite),
+		DurationSec: sp.DurationSec,
+		Mode:        sp.Mode,
+		Params:      sp.Params,
+		Tuning:      sp.Tuning,
+		Online:      sp.Online,
+		TypingOpts:  e.Typing,
+		TypingError: sp.TypingError,
+		Seed:        sp.Seed,
+		Cache:       cache,
+	}
+}
+
+// Campaign is a complete distributable sweep: one environment plus the run
+// grid. Results are always reported in grid order, regardless of how the
+// fabric schedules the work.
+type Campaign struct {
+	// Env is the shared environment.
+	Env EnvSpec `json:"env"`
+	// Specs is the run grid.
+	Specs []Spec `json:"specs"`
+}
+
+// EncodeResult canonically encodes a run result for commit. The encoding
+// is deterministic (encoding/json sorts map keys) and lossless for every
+// Result field, which is what makes "byte-identical" a meaningful
+// cross-process contract: any two successful executions of the same spec
+// commit the same bytes.
+func EncodeResult(res *sim.Result) (json.RawMessage, error) {
+	return json.Marshal(res)
+}
+
+// DecodeResult inverts EncodeResult.
+func DecodeResult(raw json.RawMessage) (*sim.Result, error) {
+	var r sim.Result
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("dist: decode result: %w", err)
+	}
+	return &r, nil
+}

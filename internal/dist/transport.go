@@ -1,0 +1,47 @@
+package dist
+
+import "context"
+
+// Transport is a worker's view of a coordinator. The same four calls are
+// served in-process (LocalTransport) and over HTTP/JSON (Client), so every
+// worker behavior — leasing, committing, heartbeating, retiring — is
+// testable without sockets.
+type Transport interface {
+	// Register admits the worker and returns its identity plus the
+	// campaign environment.
+	Register(ctx context.Context, name string) (*RegisterReply, error)
+	// Lease polls for the next chunk of work.
+	Lease(ctx context.Context, workerID string) (*LeaseReply, error)
+	// Commit reports one finished run (or a deterministic failure).
+	Commit(ctx context.Context, req CommitRequest) (*CommitReply, error)
+	// Heartbeat keeps the worker's leases alive.
+	Heartbeat(ctx context.Context, workerID string) (*HeartbeatReply, error)
+}
+
+// LocalTransport calls a coordinator in-process: no sockets, no protocol
+// envelope — but results still travel as canonical JSON, so the
+// determinism contract exercised is identical to the HTTP path.
+type LocalTransport struct {
+	// C is the coordinator.
+	C *Coordinator
+}
+
+// Register implements Transport.
+func (t LocalTransport) Register(_ context.Context, name string) (*RegisterReply, error) {
+	return t.C.Register(name)
+}
+
+// Lease implements Transport.
+func (t LocalTransport) Lease(_ context.Context, workerID string) (*LeaseReply, error) {
+	return t.C.Lease(workerID)
+}
+
+// Commit implements Transport.
+func (t LocalTransport) Commit(_ context.Context, req CommitRequest) (*CommitReply, error) {
+	return t.C.Commit(req)
+}
+
+// Heartbeat implements Transport.
+func (t LocalTransport) Heartbeat(_ context.Context, workerID string) (*HeartbeatReply, error) {
+	return t.C.Heartbeat(workerID)
+}

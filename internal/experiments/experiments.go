@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"phasetune/internal/amp"
+	"phasetune/internal/dist"
 	"phasetune/internal/exec"
 	"phasetune/internal/metrics"
 	"phasetune/internal/osched"
@@ -53,6 +54,12 @@ type Config struct {
 	Tuning tuning.Config
 	// Workers bounds concurrent runs in sweeps (<=0 uses GOMAXPROCS).
 	Workers int
+	// Shards, when > 1, routes every sweep through the distributed fabric
+	// (internal/dist) with that many in-process workers instead of the
+	// local worker pool. Results are byte-identical either way; the fabric
+	// path additionally exercises spec serialization and gives each worker
+	// its own artifact cache, exactly as separate processes would.
+	Shards int
 	// Cache is the shared artifact cache; every driver's image
 	// preparations go through it.
 	Cache *sim.ImageCache
@@ -95,23 +102,41 @@ func (c *Config) artifact(b *workload.Benchmark, params transition.Params) (*sim
 	return c.cache().Get(b.Prog, sim.ImageSpec{Params: params, Typing: c.Typing}, c.Cost)
 }
 
-// runCfg assembles one sweep cell. w may be nil to build the seed's
-// workload from the config dimensions.
-func (c *Config) runCfg(mode sim.Mode, params transition.Params, tcfg tuning.Config,
-	errFrac float64, seed uint64, durationSec float64) sim.RunConfig {
+// Env is the wire form of the config environment — what fabric workers
+// rebuild their stack (suite included) from. Config.Suite must be the
+// canonical suite for (Cost, Machine), which Default and the machine-
+// iterating drivers guarantee.
+func (c *Config) Env() dist.EnvSpec {
+	return dist.EnvSpec{Machine: *c.Machine, Cost: c.Cost, Sched: c.Sched, Typing: c.Typing}
+}
 
-	return sim.RunConfig{
-		Machine: c.Machine, Cost: &c.Cost, Sched: &c.Sched,
-		Workload:    workload.BuildWorkload(c.Suite, c.Slots, c.QueueLen, seed),
+// runCfg assembles one sweep cell in the fabric's wire form: the workload
+// travels as its construction parameters, so the same cell runs locally or
+// on a remote worker with bit-identical results.
+func (c *Config) runCfg(mode sim.Mode, params transition.Params, tcfg tuning.Config,
+	errFrac float64, seed uint64, durationSec float64) dist.Spec {
+
+	return dist.Spec{
+		Queues:      workload.Spec{Slots: c.Slots, QueueLen: c.QueueLen, Seed: seed},
 		DurationSec: durationSec, Mode: mode, Params: params, Tuning: tcfg,
-		TypingOpts: c.Typing, TypingError: errFrac, Seed: seed,
+		TypingError: errFrac, Seed: seed,
 	}
 }
 
-// sweep fans the grid across the configured worker pool with the shared
-// artifact cache; results come back in input order.
-func (c *Config) sweep(grid []sim.RunConfig) ([]*sim.Result, error) {
-	return sim.Sweep(context.Background(), grid, sim.SweepOptions{
+// sweep executes the grid: through the distributed fabric when Shards > 1,
+// otherwise across the local worker pool with the shared artifact cache.
+// Results come back in input order and are byte-identical either way.
+func (c *Config) sweep(grid []dist.Spec) ([]*sim.Result, error) {
+	if c.Shards > 1 {
+		return dist.RunLocal(context.Background(), dist.Campaign{Env: c.Env(), Specs: grid},
+			dist.LocalOptions{Workers: c.Shards})
+	}
+	env := c.Env()
+	cfgs := make([]sim.RunConfig, len(grid))
+	for i := range grid {
+		cfgs[i] = env.RunConfig(grid[i], c.Suite, nil)
+	}
+	return sim.Sweep(context.Background(), cfgs, sim.SweepOptions{
 		Workers: c.Workers,
 		Cache:   c.cache(),
 	})
@@ -121,7 +146,7 @@ func (c *Config) sweep(grid []sim.RunConfig) ([]*sim.Result, error) {
 // keyed by seed. Baseline runs depend only on (workload seed, duration), so
 // every driver that needs them builds the same grid.
 func (c *Config) baselines(durationSec float64) (map[uint64]*sim.Result, error) {
-	grid := make([]sim.RunConfig, len(c.Seeds))
+	grid := make([]dist.Spec, len(c.Seeds))
 	for i, seed := range c.Seeds {
 		grid[i] = c.runCfg(sim.Baseline, transition.Params{}, tuning.Config{}, 0, seed, durationSec)
 	}
@@ -253,7 +278,7 @@ func Fig4TimeOverhead(cfg Config, variants []transition.Params) ([]TimeOverheadR
 		return nil, err
 	}
 
-	grid := make([]sim.RunConfig, 0, len(variants)*len(cfg.Seeds))
+	grid := make([]dist.Spec, 0, len(variants)*len(cfg.Seeds))
 	for _, params := range variants {
 		for _, seed := range cfg.Seeds {
 			grid = append(grid, cfg.runCfg(sim.Overhead, params, tuning.Config{}, 0, seed, cfg.DurationSec))
@@ -424,7 +449,7 @@ func throughputImprovements(cfg Config, specs []tunedSpec) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	grid := make([]sim.RunConfig, 0, len(specs)*len(cfg.Seeds))
+	grid := make([]dist.Spec, 0, len(specs)*len(cfg.Seeds))
 	for _, s := range specs {
 		for _, seed := range cfg.Seeds {
 			grid = append(grid, cfg.runCfg(sim.Tuned, s.params, s.tuning, s.errFrac, seed, window))
@@ -540,7 +565,7 @@ func Table2Fairness(cfg Config, variants []transition.Params) ([]FairnessRow, er
 		}
 	}
 
-	grid := make([]sim.RunConfig, 0, len(variants)*len(cfg.Seeds))
+	grid := make([]dist.Spec, 0, len(variants)*len(cfg.Seeds))
 	for _, params := range variants {
 		for _, seed := range cfg.Seeds {
 			grid = append(grid, cfg.runCfg(sim.Tuned, params, cfg.Tuning, 0, seed, cfg.DurationSec))

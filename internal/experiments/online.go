@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"phasetune/internal/amp"
+	"phasetune/internal/dist"
 	"phasetune/internal/metrics"
 	"phasetune/internal/online"
 	"phasetune/internal/sim"
@@ -94,9 +95,9 @@ type ShowdownRow struct {
 	CounterDefers float64
 }
 
-// showdownRunCfg builds one run config for a policy on a machine-specific
+// showdownRunCfg builds one wire spec for a policy on a machine-specific
 // config (cfg.Machine and cfg.Suite must already match).
-func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) sim.RunConfig {
+func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) dist.Spec {
 	mode := sim.Baseline
 	params := transition.Params{}
 	ocfg := online.Config{}
@@ -121,15 +122,44 @@ func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) sim.RunConfig {
 	return rc
 }
 
+// ShowdownMachines returns the default showdown machine set: the paper's
+// quad AMP, the §VII tri-core, and the three-type big/medium/little hex —
+// the §VI-C generalization that makes the campaign genuinely large.
+func ShowdownMachines() []*amp.Machine {
+	return []*amp.Machine{amp.Quad2Fast2Slow(), amp.ThreeCore2Fast1Slow(), amp.Hex2Big2Medium2Little()}
+}
+
+// showdownGrid builds one machine's full (policy x seed) grid in wire form
+// (cfg.Machine must already be set to that machine).
+func showdownGrid(cfg Config) []dist.Spec {
+	policies := ShowdownPolicies()
+	grid := make([]dist.Spec, 0, len(policies)*len(cfg.Seeds))
+	for _, p := range policies {
+		for _, seed := range cfg.Seeds {
+			grid = append(grid, showdownRunCfg(cfg, p, seed))
+		}
+	}
+	return grid
+}
+
+// ShowdownCampaign packages one machine's showdown grid as a distributable
+// campaign (cmd/sweepd serves it to workers).
+func ShowdownCampaign(cfg Config, machine *amp.Machine) dist.Campaign {
+	mcfg := cfg
+	mcfg.Machine = machine
+	return dist.Campaign{Env: mcfg.Env(), Specs: showdownGrid(mcfg)}
+}
+
 // Showdown runs the full static-vs-dynamic-vs-oracle comparison on the
-// given machines (default: the paper's quad AMP plus the §VII tri-core).
-// Rows come back machine-major in ShowdownPolicies order; every improvement
-// column is relative to the same machine's ShowdownNone row. All runs of a
-// machine share workload queues per seed (the paper's comparison protocol)
-// and sweep concurrently over the shared artifact cache.
+// given machines (default: ShowdownMachines — the paper's quad AMP, the
+// §VII tri-core, and the three-type hex). Rows come back machine-major in
+// ShowdownPolicies order; every improvement column is relative to the same
+// machine's ShowdownNone row. All runs of a machine share workload queues
+// per seed (the paper's comparison protocol) and sweep concurrently over
+// the shared artifact cache — or across the fabric when cfg.Shards > 1.
 func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 	if machines == nil {
-		machines = []*amp.Machine{amp.Quad2Fast2Slow(), amp.ThreeCore2Fast1Slow()}
+		machines = ShowdownMachines()
 	}
 	policies := ShowdownPolicies()
 	var rows []ShowdownRow
@@ -142,13 +172,7 @@ func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 		}
 		mcfg.Suite = suite
 
-		grid := make([]sim.RunConfig, 0, len(policies)*len(mcfg.Seeds))
-		for _, p := range policies {
-			for _, seed := range mcfg.Seeds {
-				grid = append(grid, showdownRunCfg(mcfg, p, seed))
-			}
-		}
-		results, err := mcfg.sweep(grid)
+		results, err := mcfg.sweep(showdownGrid(mcfg))
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +250,7 @@ func ShowdownCounterContention(cfg Config, slots int) (ShowdownContentionResult,
 	c := cfg
 	c.Sched = sched
 	seed := c.Seeds[0]
-	grid := []sim.RunConfig{
+	grid := []dist.Spec{
 		showdownRunCfg(c, ShowdownNone, seed),
 		showdownRunCfg(c, ShowdownDynamicProbe, seed),
 	}

@@ -16,7 +16,7 @@
 // ScaleDivisor (bwaves capped), under the scaled simulation clock of
 // package amp; phase alternation counts follow the paper's switch counts
 // under the same divisor. Uniform scaling preserves every relative quantity
-// (see DESIGN.md §6).
+// (see DESIGN.md §8).
 package workload
 
 import (
@@ -477,3 +477,22 @@ func BuildWorkload(suite []*Benchmark, slots, queueLen int, seed uint64) *Worklo
 
 // NumSlots returns the slot count.
 func (w *Workload) NumSlots() int { return len(w.Slots) }
+
+// Spec describes a workload by its construction parameters instead of a
+// built queue set. BuildWorkload is deterministic, so a Spec is the
+// serializable identity of a workload: any process holding the same suite
+// rebuilds bit-identical queues from it — which is what lets run
+// specifications cross process boundaries in the distributed sweep fabric.
+type Spec struct {
+	// Slots is the constant workload size.
+	Slots int `json:"slots"`
+	// QueueLen is the per-slot queue length.
+	QueueLen int `json:"queue_len"`
+	// Seed drives the random benchmark draw.
+	Seed uint64 `json:"seed"`
+}
+
+// Build materializes the workload against a suite.
+func (s Spec) Build(suite []*Benchmark) *Workload {
+	return BuildWorkload(suite, s.Slots, s.QueueLen, s.Seed)
+}

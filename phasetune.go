@@ -32,7 +32,12 @@
 //     selectable placement Policy — none, the paper's static marks, the
 //     online dynamic detector, or the perfect-knowledge oracle;
 //   - Session.Sweep, which fans a grid of RunSpecs across a bounded worker
-//     pool with deterministic, input-ordered results.
+//     pool with deterministic, input-ordered results;
+//   - the distributed sweep fabric (Serve, Work, Session.SweepSharded, and
+//     the cmd/sweepd binary), which shards a campaign of serializable
+//     specs (RunSpec.Queues) across worker processes — leases, heartbeats,
+//     crash re-dispatch — and merges results byte-identically to a
+//     single-process Sweep.
 //
 // The quickest way in:
 //
@@ -99,6 +104,10 @@ func QuadAMP() *Machine { return amp.Quad2Fast2Slow() }
 
 // ThreeCoreAMP returns the paper's future-work machine: 2 fast + 1 slow.
 func ThreeCoreAMP() *Machine { return amp.ThreeCore2Fast1Slow() }
+
+// TriTypeAMP returns the three-type big/medium/little machine (2+2+2
+// cores) — the §VI-C generalization beyond two core types.
+func TriTypeAMP() *Machine { return amp.Hex2Big2Medium2Little() }
 
 // SymmetricMachine returns an n-core symmetric control machine.
 func SymmetricMachine(n int, ghz float64) *Machine { return amp.Symmetric(n, ghz) }
@@ -197,6 +206,10 @@ type (
 	Benchmark = workload.Benchmark
 	// Workload is a constant-size slot-queue workload.
 	Workload = workload.Workload
+	// WorkloadSpec describes a workload by its construction parameters
+	// (slots, queue length, seed) — the serializable identity a session
+	// resolves against its own suite. Distributed sweeps require it.
+	WorkloadSpec = workload.Spec
 	// RunConfig configures one simulation run.
 	RunConfig = sim.RunConfig
 	// RunResult is the outcome of a run.

@@ -3,10 +3,12 @@ package phasetune
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"phasetune/internal/exec"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/sim"
+	"phasetune/internal/workload"
 )
 
 // Policy selects how a run places processes on the asymmetric cores — the
@@ -97,6 +99,12 @@ type Session struct {
 	cache   *ImageCache
 	workers int
 	events  Events
+
+	// suiteOnce lazily generates the benchmark suite for (cost, machine),
+	// shared by every run whose spec describes its workload as Queues.
+	suiteOnce sync.Once
+	suite     []*Benchmark
+	suiteErr  error
 }
 
 // Events holds optional per-run observation hooks (see sim.Events).
@@ -175,8 +183,15 @@ func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
 // RunSpec configures one run within a session. Zero values inherit the
 // session defaults; only what varies per run needs to be set.
 type RunSpec struct {
-	// Workload supplies the slot queues (required).
+	// Workload supplies the slot queues. Exactly one of Workload and
+	// Queues must be set; Workload wins when both are.
 	Workload *Workload
+	// Queues describes the workload by its construction parameters
+	// (slots, queue length, seed) instead of a built queue set; the
+	// session builds it against its own suite. Queues-based specs are
+	// serializable, which is what distributed sweeps (Serve, SweepSharded)
+	// require.
+	Queues *WorkloadSpec
 	// DurationSec is the run length in simulated seconds.
 	DurationSec float64
 	// Policy selects the placement policy (none/static/dynamic/oracle).
@@ -201,37 +216,60 @@ type RunSpec struct {
 	Seed uint64
 }
 
-// runConfig lowers a spec onto the session environment.
-func (s *Session) runConfig(spec RunSpec) sim.RunConfig {
-	tcfg := s.tuning
+// resolve lowers a spec's policy and per-run overrides onto concrete run
+// parameters: the spec's Policy wins, then an explicit legacy Mode, then
+// the session policy, then legacy Baseline.
+func (s *Session) resolve(spec RunSpec) (mode RunMode, params TechniqueParams, tcfg TuningConfig, ocfg OnlineConfig) {
+	tcfg = s.tuning
 	if spec.Tuning != nil {
 		tcfg = *spec.Tuning
 	}
-	ocfg := s.online
+	ocfg = s.online
 	if spec.Online != nil {
 		ocfg = *spec.Online
 	}
-
-	// Resolve the placement policy: the spec's Policy wins, then an
-	// explicit legacy Mode, then the session policy, then legacy Baseline.
-	mode := spec.Mode
+	mode = spec.Mode
 	policy := spec.Policy
 	if policy == PolicyDefault && mode == Baseline {
 		policy = s.policy
 	}
-	params := spec.Params
+	params = spec.Params
 	if policy != PolicyDefault {
 		mode = policy.mode()
 		if params == (TechniqueParams{}) && (policy == PolicyStatic || policy == PolicyOracle) {
 			params = BestParams()
 		}
 	}
+	return mode, params, tcfg, ocfg
+}
+
+// Suite returns the benchmark suite for the session's cost model and
+// machine, generated once per session and reused. Queues-based run specs
+// build their workloads against it.
+func (s *Session) Suite() ([]*Benchmark, error) {
+	s.suiteOnce.Do(func() {
+		s.suite, s.suiteErr = workload.Suite(s.cost, s.machine)
+	})
+	return s.suite, s.suiteErr
+}
+
+// runConfig lowers a spec onto the session environment.
+func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
+	mode, params, tcfg, ocfg := s.resolve(spec)
+	w := spec.Workload
+	if w == nil && spec.Queues != nil {
+		suite, err := s.Suite()
+		if err != nil {
+			return sim.RunConfig{}, err
+		}
+		w = spec.Queues.Build(suite)
+	}
 
 	cost := s.cost
 	sched := s.sched
 	return sim.RunConfig{
 		Machine: s.machine, Cost: &cost, Sched: &sched,
-		Workload:    spec.Workload,
+		Workload:    w,
 		DurationSec: spec.DurationSec,
 		Mode:        mode,
 		Params:      params,
@@ -242,7 +280,7 @@ func (s *Session) runConfig(spec RunSpec) sim.RunConfig {
 		Seed:        spec.Seed,
 		Cache:       s.cache,
 		Events:      s.events,
-	}
+	}, nil
 }
 
 // RunContext executes one run with cancellation: the simulation polls ctx
@@ -250,7 +288,11 @@ func (s *Session) runConfig(spec RunSpec) sim.RunConfig {
 // on identical sessions give bit-identical results, whether or not the
 // session cache already holds the images.
 func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*RunResult, error) {
-	return sim.RunContext(ctx, s.runConfig(spec))
+	cfg, err := s.runConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx, cfg)
 }
 
 // Run is RunContext without cancellation.

@@ -2,6 +2,7 @@ package phasetune
 
 import (
 	"context"
+	"fmt"
 
 	"phasetune/internal/sim"
 )
@@ -32,7 +33,11 @@ func (s *Session) SweepFunc(ctx context.Context, specs []RunSpec,
 
 	grid := make([]sim.RunConfig, len(specs))
 	for i, spec := range specs {
-		grid[i] = s.runConfig(spec)
+		cfg, err := s.runConfig(spec)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		grid[i] = cfg
 	}
 	return sim.Sweep(ctx, grid, sim.SweepOptions{Workers: s.workers, OnDone: done})
 }
