@@ -1,17 +1,20 @@
 // Command ampsim runs one workload on the simulated asymmetric multicore
 // under a selected placement policy — the stock scheduler, the paper's
-// static phase marks, the online dynamic detector, the perfect-knowledge
-// oracle, or overhead-measurement mode — and prints the run's metrics.
+// static phase marks, the online dynamic detector, the marks+windows
+// hybrid, the perfect-knowledge oracle, or overhead-measurement mode — and
+// prints the run's metrics.
 //
 // Usage:
 //
-//	ampsim [-policy none|static|dynamic|oracle] [-mode overhead]
-//	       [-online greedy|probe] [-slots 18] [-duration 400] [-seed 5]
-//	       [-machine quad|tri] [-delta 0.06] [-technique loop] [-min 45]
-//	       [-window 8000] [-progress]
+//	ampsim [-policy none|static|dynamic|oracle|hybrid] [-mode overhead]
+//	       [-online greedy|probe] [-spill] [-slots 18] [-duration 400]
+//	       [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
+//	       [-technique loop] [-min 45] [-window 8000] [-progress]
 //
-// -policy selects the placement policy (default static). -mode overhead is
-// the legacy all-cores overhead methodology and overrides -policy.
+// -policy selects the placement policy (default static). -spill enables
+// capacity-aware spill arbitration in the static runtime (the shared
+// placement engine's ablation). -mode overhead is the legacy all-cores
+// overhead methodology and overrides -policy.
 package main
 
 import (
@@ -28,13 +31,14 @@ import (
 )
 
 func main() {
-	policy := flag.String("policy", "static", "placement policy: none, static, dynamic, or oracle")
+	policy := flag.String("policy", "static", "placement policy: none, static, dynamic, oracle, or hybrid")
 	mode := flag.String("mode", "", "legacy mode override: baseline, tuned, overhead")
 	onlinePolicy := flag.String("online", "probe", "dynamic reassignment policy: greedy or probe")
+	spill := flag.Bool("spill", false, "capacity-aware spill in the static runtime (shared engine)")
 	slots := flag.Int("slots", 18, "workload slots")
 	duration := flag.Float64("duration", 400, "duration in simulated seconds")
 	seed := flag.Uint64("seed", 5, "workload seed")
-	machineFlag := flag.String("machine", "quad", "quad or tri")
+	machineFlag := flag.String("machine", "quad", "quad, tri, or hex")
 	delta := flag.Float64("delta", 0.06, "IPC threshold")
 	technique := flag.String("technique", "loop", "bb, interval, or loop")
 	minSize := flag.Int("min", 45, "minimum section size")
@@ -43,7 +47,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(options{
-		policy: *policy, mode: *mode, onlinePolicy: *onlinePolicy,
+		policy: *policy, mode: *mode, onlinePolicy: *onlinePolicy, spill: *spill,
 		slots: *slots, duration: *duration, seed: *seed,
 		machine: *machineFlag, delta: *delta, technique: *technique,
 		minSize: *minSize, window: *window, progress: *progress,
@@ -55,6 +59,7 @@ func main() {
 
 type options struct {
 	policy, mode, onlinePolicy string
+	spill                      bool
 	slots                      int
 	duration                   float64
 	seed                       uint64
@@ -72,8 +77,10 @@ func run(o options) error {
 		machine = phasetune.QuadAMP()
 	case "tri":
 		machine = phasetune.ThreeCoreAMP()
+	case "hex":
+		machine = phasetune.TriTypeAMP()
 	default:
-		return fmt.Errorf("unknown machine %q", o.machine)
+		return fmt.Errorf("unknown machine %q (want quad|tri|hex)", o.machine)
 	}
 
 	spec := phasetune.RunSpec{DurationSec: o.duration, Seed: o.seed}
@@ -123,6 +130,7 @@ func run(o options) error {
 
 	tcfg := phasetune.DefaultTuning()
 	tcfg.Delta = o.delta
+	tcfg.Spill = o.spill
 	ocfg := phasetune.DefaultOnline()
 	ocfg.Delta = o.delta
 	if o.window > 0 {

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	benchjson [-out BENCH_sweep.json] [-reps 3] [-shards N]
+//	benchjson -history [-out BENCH_sweep.json] [-regression 10]
+//
+// -history renders the recorded trajectory instead of running benchmarks:
+// one ASCII series per benchmark name (ns/op over entries) plus a
+// last-vs-previous comparison table. It exits non-zero when any benchmark
+// regressed by more than -regression percent against the previous entry —
+// CI wires it as a soft-fail step so the performance trajectory is
+// inspected on every push without blocking unrelated work.
 //
 // Timings recorded, mirroring the root bench harness:
 //
@@ -40,9 +48,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"phasetune"
+	"phasetune/internal/textplot"
 )
 
 // Benchmark is one recorded measurement.
@@ -81,11 +91,102 @@ func main() {
 	out := flag.String("out", "BENCH_sweep.json", "output path (history is appended)")
 	reps := flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
 	shards := flag.Int("shards", 0, "also time the grid through the distributed fabric with N local workers")
+	history := flag.Bool("history", false, "render the recorded history and check for regressions instead of running")
+	regression := flag.Float64("regression", 10, "history mode: fail when a benchmark slowed by more than this percent vs the previous entry")
 	flag.Parse()
-	if err := run(*out, *reps, *shards); err != nil {
+	var err error
+	if *history {
+		err = runHistory(*out, *regression)
+	} else {
+		err = run(*out, *reps, *shards)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runHistory renders the benchmark trajectory and gates on regressions:
+// every benchmark's ns/op is plotted over the recorded entries, and the
+// newest entry is compared against the one before it.
+func runHistory(path string, regressionPct float64) error {
+	hist := loadHistory(path)
+	if len(hist.Entries) == 0 {
+		return fmt.Errorf("%s holds no history entries", path)
+	}
+
+	// Collect per-benchmark series in first-appearance order.
+	var names []string
+	series := map[string][]float64{} // parallel to entry indices; -1 marks absent
+	for _, e := range hist.Entries {
+		for _, b := range e.Benchmarks {
+			if _, ok := series[b.Name]; !ok {
+				series[b.Name] = nil
+				names = append(names, b.Name)
+			}
+		}
+	}
+	for _, name := range names {
+		for _, e := range hist.Entries {
+			v := -1.0
+			for _, b := range e.Benchmarks {
+				if b.Name == name {
+					v = float64(b.NsPerOp) / 1e6 // ms
+				}
+			}
+			series[name] = append(series[name], v)
+		}
+	}
+
+	fmt.Printf("%s: %d entries (oldest first)\n", path, len(hist.Entries))
+	for _, name := range names {
+		var xs, ys []float64
+		for i, v := range series[name] {
+			if v >= 0 {
+				xs = append(xs, float64(i))
+				ys = append(ys, v)
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		fmt.Printf("\n%s (ms/op over entries)\n", name)
+		fmt.Print(textplot.Series("entry", "ms/op", xs, ys, 40))
+	}
+
+	if len(hist.Entries) < 2 {
+		fmt.Println("\nonly one entry: nothing to compare")
+		return nil
+	}
+	prev, last := hist.Entries[len(hist.Entries)-2], hist.Entries[len(hist.Entries)-1]
+	prevNs := map[string]int64{}
+	for _, b := range prev.Benchmarks {
+		prevNs[b.Name] = b.NsPerOp
+	}
+	t := textplot.NewTable("benchmark", "prev ms", "last ms", "delta%")
+	var regressed []string
+	for _, b := range last.Benchmarks {
+		p, ok := prevNs[b.Name]
+		if !ok || p == 0 {
+			continue
+		}
+		deltaPct := 100 * (float64(b.NsPerOp) - float64(p)) / float64(p)
+		t.AddRow(b.Name,
+			fmt.Sprintf("%.1f", float64(p)/1e6),
+			fmt.Sprintf("%.1f", float64(b.NsPerOp)/1e6),
+			fmt.Sprintf("%+.1f", deltaPct))
+		if deltaPct > regressionPct {
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", b.Name, deltaPct))
+		}
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+	if len(regressed) > 0 {
+		return fmt.Errorf("regression over %.0f%% vs previous entry: %s",
+			regressionPct, strings.Join(regressed, ", "))
+	}
+	fmt.Printf("\nno benchmark regressed more than %.0f%% vs the previous entry\n", regressionPct)
+	return nil
 }
 
 // timeMin runs f reps times and returns the minimum wall-clock duration.

@@ -29,14 +29,15 @@ var ErrNeedQueues = fmt.Errorf("distributed sweeps need serializable specs: set 
 // merged output is byte-identical to a local Sweep of the same specs.
 func (s *Session) campaign(specs []RunSpec) (dist.Campaign, error) {
 	camp := dist.Campaign{
-		Env: dist.EnvSpec{Machine: *s.machine, Cost: s.cost, Sched: s.sched, Typing: s.typing},
+		Env: dist.EnvSpec{Version: dist.SpecVersion, Machine: *s.machine, Cost: s.cost,
+			Sched: s.sched, Typing: s.typing},
 	}
 	camp.Specs = make([]dist.Spec, len(specs))
 	for i, spec := range specs {
 		if spec.Workload != nil || spec.Queues == nil {
 			return dist.Campaign{}, fmt.Errorf("spec %d: %w", i, ErrNeedQueues)
 		}
-		mode, params, tcfg, ocfg := s.resolve(spec)
+		mode, params, tcfg, ocfg, pcfg := s.resolve(spec)
 		camp.Specs[i] = dist.Spec{
 			Queues:      *spec.Queues,
 			DurationSec: spec.DurationSec,
@@ -44,6 +45,7 @@ func (s *Session) campaign(specs []RunSpec) (dist.Campaign, error) {
 			Params:      params,
 			Tuning:      tcfg,
 			Online:      ocfg,
+			Placement:   pcfg,
 			TypingError: spec.TypingError,
 			Seed:        spec.Seed,
 		}

@@ -9,8 +9,8 @@ import (
 )
 
 // shardedGrid mirrors sweepGrid in serializable form: Queues instead of a
-// built Workload, plus a dynamic-policy cell so policy resolution crosses
-// the wire too.
+// built Workload, plus dynamic- and hybrid-policy cells so policy
+// resolution (and the placement engine) crosses the wire too.
 func shardedGrid() []phasetune.RunSpec {
 	loop45 := phasetune.BestParams()
 	var specs []phasetune.RunSpec
@@ -20,6 +20,7 @@ func shardedGrid() []phasetune.RunSpec {
 			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyNone, Seed: seed},
 			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyStatic, Params: loop45, Seed: seed},
 			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyDynamic, Seed: seed},
+			phasetune.RunSpec{Queues: q, DurationSec: 5, Policy: phasetune.PolicyHybrid, Seed: seed},
 		)
 	}
 	return specs
@@ -46,6 +47,44 @@ func TestSweepShardedMatchesSweep(t *testing.T) {
 		for i := range got {
 			if string(encode(t, got[i])) != string(encode(t, want[i])) {
 				t.Errorf("shards=%d: spec %d differs from Sweep", shards, i)
+			}
+		}
+	}
+}
+
+// TestHybridShardedCampaignGolden is the golden contract for the new
+// policy: a PolicyHybrid campaign sharded across the fabric — per-worker
+// caches, wire-format specs, placement engines rebuilt on each worker —
+// merges byte-identically to running the same specs sequentially through
+// RunContext. The hybrid runtime spans both hook planes (marks and the
+// kernel monitor), so this pins that the whole engine-backed path is a
+// pure function of its spec.
+func TestHybridShardedCampaignGolden(t *testing.T) {
+	var specs []phasetune.RunSpec
+	for _, seed := range []uint64{3, 9} {
+		specs = append(specs, phasetune.RunSpec{
+			Queues:      &phasetune.WorkloadSpec{Slots: 4, QueueLen: 4, Seed: seed},
+			DurationSec: 8, Policy: phasetune.PolicyHybrid, Seed: seed,
+		})
+	}
+	sess := phasetune.NewSession(phasetune.WithMachine(phasetune.TriTypeAMP()))
+	var want []string
+	for _, spec := range specs {
+		res, err := sess.RunContext(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, string(encode(t, res)))
+	}
+	for _, shards := range []int{2, 3} {
+		got, err := phasetune.NewSession(phasetune.WithMachine(phasetune.TriTypeAMP())).
+			SweepSharded(context.Background(), specs, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := range got {
+			if string(encode(t, got[i])) != want[i] {
+				t.Errorf("shards=%d: hybrid spec %d differs from sequential run", shards, i)
 			}
 		}
 	}

@@ -1,9 +1,9 @@
 // Onlinevstatic runs the paper's central comparison end to end through the
 // public API: the same workload under no tuning, the static phase-mark
-// runtime, the online dynamic detector (both reassignment policies), and
-// the perfect-knowledge oracle — all swept concurrently through one
-// session — and prints throughput, switch counts, and the dynamic
-// detector's monitoring bill.
+// runtime, the online dynamic detector (both reassignment policies), the
+// marks+windows hybrid, and the perfect-knowledge oracle — all swept
+// concurrently through one session — and prints throughput, switch counts,
+// and the runtime detectors' monitoring bills.
 package main
 
 import (
@@ -35,9 +35,10 @@ func main() {
 		{Workload: w, DurationSec: duration, Seed: seed, Policy: phasetune.PolicyStatic},
 		{Workload: w, DurationSec: duration, Seed: seed, Policy: phasetune.PolicyDynamic, Online: &greedy},
 		{Workload: w, DurationSec: duration, Seed: seed, Policy: phasetune.PolicyDynamic},
+		{Workload: w, DurationSec: duration, Seed: seed, Policy: phasetune.PolicyHybrid},
 		{Workload: w, DurationSec: duration, Seed: seed, Policy: phasetune.PolicyOracle},
 	}
-	labels := []string{"none", "static", "dynamic/greedy", "dynamic/probe", "oracle"}
+	labels := []string{"none", "static", "dynamic/greedy", "dynamic/probe", "hybrid", "oracle"}
 
 	results, err := sess.Sweep(context.Background(), specs)
 	if err != nil {

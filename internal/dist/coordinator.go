@@ -233,10 +233,16 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	}
 }
 
-// Register admits a worker and hands it the campaign environment.
-func (c *Coordinator) Register(name string) (*RegisterReply, error) {
+// Register admits a worker and hands it the campaign environment. The
+// worker's wire version must match this build's: an older worker would
+// silently drop newer Spec fields and commit divergent bytes, breaking
+// the deterministic-merge contract.
+func (c *Coordinator) Register(name string, version int) (*RegisterReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if version != SpecVersion {
+		return nil, fmt.Errorf("dist: worker %q speaks wire version %d, coordinator speaks %d", name, version, SpecVersion)
+	}
 	c.nextWorker++
 	id := fmt.Sprintf("w%d", c.nextWorker)
 	if name != "" {

@@ -22,10 +22,11 @@ import (
 )
 
 // testCampaign is a small but representative grid: baseline, static-tuned,
-// dynamic, and oracle cells across two seeds on the quad AMP, with tiny
-// workloads so the whole suite stays fast.
+// dynamic, hybrid, and oracle cells across two seeds on the quad AMP, with
+// tiny workloads so the whole suite stays fast.
 func testCampaign() Campaign {
 	env := EnvSpec{
+		Version: SpecVersion,
 		Machine: *amp.Quad2Fast2Slow(),
 		Cost:    exec.DefaultCostModel(),
 		Sched:   osched.DefaultConfig(),
@@ -40,6 +41,7 @@ func testCampaign() Campaign {
 			Spec{Queues: q, DurationSec: 2, Mode: sim.Baseline, Tuning: tcfg, Seed: seed},
 			Spec{Queues: q, DurationSec: 2, Mode: sim.Tuned, Params: loop45, Tuning: tcfg, Seed: seed},
 			Spec{Queues: q, DurationSec: 2, Mode: sim.Dynamic, Tuning: tcfg, Online: online.DefaultConfig(), Seed: seed},
+			Spec{Queues: q, DurationSec: 2, Mode: sim.Hybrid, Params: loop45, Tuning: tcfg, Online: online.DefaultConfig(), Seed: seed},
 			Spec{Queues: q, DurationSec: 2, Mode: sim.Oracle, Params: loop45, Tuning: tcfg, Seed: seed},
 		)
 	}
@@ -214,11 +216,11 @@ func oneSpecCoordinator(t *testing.T) (*Coordinator, *fakeClock, *LeaseReply, *L
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := coord.Register("w1")
+	r1, err := coord.Register("w1", SpecVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := coord.Register("w2")
+	r2, err := coord.Register("w2", SpecVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,8 +269,8 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, _ := coord.Register("w1")
-	r2, _ := coord.Register("w2")
+	r1, _ := coord.Register("w1", SpecVersion)
+	r2, _ := coord.Register("w2", SpecVersion)
 	if lr, _ := coord.Lease(r1.WorkerID); lr.Status != StatusLease {
 		t.Fatalf("w1 got %+v", lr)
 	}
@@ -324,7 +326,7 @@ func TestCommitValidation(t *testing.T) {
 	if _, err := coord.Lease("nobody"); err == nil {
 		t.Error("lease from unregistered worker accepted")
 	}
-	r, _ := coord.Register("w")
+	r, _ := coord.Register("w", SpecVersion)
 	l, _ := coord.Lease(r.WorkerID)
 	if _, err := coord.Commit(CommitRequest{WorkerID: r.WorkerID, LeaseID: l.LeaseID, Index: len(camp.Specs)}); err == nil {
 		t.Error("out-of-range commit accepted")
@@ -341,7 +343,7 @@ func TestRunFailureAbortsCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, _ := coord.Register("w")
+	r, _ := coord.Register("w", SpecVersion)
 	l, _ := coord.Lease(r.WorkerID)
 	if _, err := coord.Commit(CommitRequest{
 		WorkerID: r.WorkerID, LeaseID: l.LeaseID, Index: l.Indices[0], Error: "boom",
@@ -376,7 +378,7 @@ func TestAbortReleasesWait(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, _ := done.Register("w")
+	r, _ := done.Register("w", SpecVersion)
 	l, _ := done.Lease(r.WorkerID)
 	raw := runSpecRaw(t, camp, 0)
 	if _, err := done.Commit(CommitRequest{WorkerID: r.WorkerID, LeaseID: l.LeaseID, Index: 0, Result: raw}); err != nil {
@@ -496,5 +498,25 @@ func TestEmptyCampaign(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Fatalf("%d results from empty campaign", len(results))
+	}
+}
+
+// TestRegisterRejectsWireVersionMismatch pins the two-way version gate: a
+// worker from another wire generation (an old build omits the field and
+// decodes as 0) must fail registration instead of being handed specs it
+// would silently misinterpret.
+func TestRegisterRejectsWireVersionMismatch(t *testing.T) {
+	coord, err := NewCoordinator(testCampaign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Register("old-build", 0); err == nil {
+		t.Error("coordinator admitted a version-0 worker")
+	}
+	if _, err := coord.Register("future-build", SpecVersion+1); err == nil {
+		t.Error("coordinator admitted a future-version worker")
+	}
+	if _, err := coord.Register("same-build", SpecVersion); err != nil {
+		t.Errorf("coordinator rejected a matching worker: %v", err)
 	}
 }

@@ -16,9 +16,14 @@ import (
 // bad index) come back as 400 with {"error": "..."}; transport-level
 // failures are whatever net/http surfaces.
 
-// RegisterRequest is the /v1/register payload.
+// RegisterRequest is the /v1/register payload. Version is the worker's
+// wire-format version (SpecVersion); a worker from an older build omits
+// the field, decodes as 0, and is rejected — the version gate must hold in
+// both directions, because an old worker would silently drop new Spec
+// fields (or run an unknown Mode as baseline) and commit divergent bytes.
 type RegisterRequest struct {
-	Name string `json:"name"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
 }
 
 // LeaseRequest is the /v1/lease payload.
@@ -68,7 +73,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func NewHandler(c *Coordinator) http.Handler {
 	mux := http.NewServeMux()
 	handlePost(mux, "/v1/register", func(req RegisterRequest) (*RegisterReply, error) {
-		return c.Register(req.Name)
+		return c.Register(req.Name, req.Version)
 	})
 	handlePost(mux, "/v1/lease", func(req LeaseRequest) (*LeaseReply, error) {
 		return c.Lease(req.WorkerID)
@@ -148,7 +153,7 @@ func (c *Client) Register(ctx context.Context, name string) (*RegisterReply, err
 	deadline := time.Now().Add(wait)
 	for {
 		var reply RegisterReply
-		err := c.post(ctx, "/v1/register", RegisterRequest{Name: name}, &reply)
+		err := c.post(ctx, "/v1/register", RegisterRequest{Name: name, Version: SpecVersion}, &reply)
 		if err == nil {
 			return &reply, nil
 		}

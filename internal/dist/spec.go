@@ -39,11 +39,20 @@ import (
 	"phasetune/internal/online"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 	"phasetune/internal/sim"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
 	"phasetune/internal/workload"
 )
+
+// SpecVersion is the fabric wire-format version. Byte-identical merge only
+// holds when every worker runs the same decision code as the coordinator,
+// so the version is bumped whenever the wire form or run semantics change
+// and checked at registration — a stale worker fails fast instead of
+// committing divergent bytes. History: v1 was the PR-3 format (no
+// placement engine); v2 added Spec.Placement and the hybrid mode.
+const SpecVersion = 2
 
 // EnvSpec is the serialized session environment: everything a worker needs
 // to rebuild the simulation stack that is shared by every run of a
@@ -51,6 +60,9 @@ import (
 // plain data and JSON round-trips are exact (counters stay far below 2^53;
 // floats use Go's shortest round-trip encoding).
 type EnvSpec struct {
+	// Version is the wire-format version (SpecVersion); mismatched peers
+	// reject the campaign at validation.
+	Version int `json:"version"`
 	// Machine is the hardware description.
 	Machine amp.Machine `json:"machine"`
 	// Cost is the shared cost model.
@@ -61,8 +73,12 @@ type EnvSpec struct {
 	Typing phase.Options `json:"typing"`
 }
 
-// Validate checks the environment is structurally sound.
+// Validate checks the environment is structurally sound and speaks this
+// build's wire version.
 func (e *EnvSpec) Validate() error {
+	if e.Version != SpecVersion {
+		return fmt.Errorf("dist: env: wire version %d, this build speaks %d", e.Version, SpecVersion)
+	}
 	if err := e.Machine.Validate(); err != nil {
 		return fmt.Errorf("dist: env: %w", err)
 	}
@@ -92,8 +108,11 @@ type Spec struct {
 	Params transition.Params `json:"params"`
 	// Tuning configures the static-mark runtime.
 	Tuning tuning.Config `json:"tuning"`
-	// Online configures the dynamic detector (Mode == Dynamic).
+	// Online configures the dynamic detector (Mode == Dynamic or Hybrid).
 	Online online.Config `json:"online"`
+	// Placement configures the shared placement engine's arbitration
+	// (engine-backed modes: Dynamic, Hybrid, Tuned with Tuning.Spill).
+	Placement place.Config `json:"placement"`
 	// TypingError injects clustering error (Fig. 7 methodology).
 	TypingError float64 `json:"typing_error"`
 	// Seed drives workload process seeds and error injection.
@@ -115,6 +134,7 @@ func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.Imag
 		Params:      sp.Params,
 		Tuning:      sp.Tuning,
 		Online:      sp.Online,
+		Placement:   sp.Placement,
 		TypingOpts:  e.Typing,
 		TypingError: sp.TypingError,
 		Seed:        sp.Seed,

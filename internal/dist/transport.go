@@ -26,9 +26,11 @@ type LocalTransport struct {
 	C *Coordinator
 }
 
-// Register implements Transport.
+// Register implements Transport. In-process workers are the same build as
+// the coordinator by construction, so they register with this build's
+// version.
 func (t LocalTransport) Register(_ context.Context, name string) (*RegisterReply, error) {
-	return t.C.Register(name)
+	return t.C.Register(name, SpecVersion)
 }
 
 // Lease implements Transport.

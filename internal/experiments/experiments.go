@@ -107,7 +107,8 @@ func (c *Config) artifact(b *workload.Benchmark, params transition.Params) (*sim
 // canonical suite for (Cost, Machine), which Default and the machine-
 // iterating drivers guarantee.
 func (c *Config) Env() dist.EnvSpec {
-	return dist.EnvSpec{Machine: *c.Machine, Cost: c.Cost, Sched: c.Sched, Typing: c.Typing}
+	return dist.EnvSpec{Version: dist.SpecVersion, Machine: *c.Machine, Cost: c.Cost,
+		Sched: c.Sched, Typing: c.Typing}
 }
 
 // runCfg assembles one sweep cell in the fabric's wire form: the workload

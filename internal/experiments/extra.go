@@ -10,6 +10,7 @@ import (
 	"phasetune/internal/osched"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 	"phasetune/internal/prog"
 	"phasetune/internal/sim"
 	"phasetune/internal/transition"
@@ -387,7 +388,7 @@ func (t *TemporalTuner) OnQuantum(p *exec.Process, coreID int) exec.MarkAction {
 	// Round complete: pin to the Algorithm 2 choice until next resample.
 	t.active = false
 	t.lastCycles = now
-	target := tuning.Select(t.machine, t.samples, t.cfg.Delta)
+	target := place.Select(t.machine, t.samples, t.cfg.Delta)
 	return exec.MarkAction{Mask: t.machine.TypeMask(target)}
 }
 

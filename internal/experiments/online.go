@@ -29,11 +29,19 @@ const (
 	ShowdownNone ShowdownPolicy = iota
 	// ShowdownStatic is the paper's technique (phase marks, Loop[45]).
 	ShowdownStatic
+	// ShowdownStaticSpill is the paper's technique with capacity-aware
+	// spill arbitration (tuning.Config.Spill through the shared placement
+	// engine) — the ablation that fixes static pin-to-type herding on
+	// memory-dominant mixes.
+	ShowdownStaticSpill
 	// ShowdownDynamicGreedy is online detection with greedy IPC placement.
 	ShowdownDynamicGreedy
 	// ShowdownDynamicProbe is online detection with the sampling probe and
 	// Algorithm 2 placement.
 	ShowdownDynamicProbe
+	// ShowdownHybrid is the marks+windows hybrid: mark boundaries, window-
+	// refreshed IPC estimates, shared-engine arbitration.
+	ShowdownHybrid
 	// ShowdownOracle is perfect-knowledge placement (upper bound).
 	ShowdownOracle
 )
@@ -45,10 +53,14 @@ func (p ShowdownPolicy) String() string {
 		return "none"
 	case ShowdownStatic:
 		return "static"
+	case ShowdownStaticSpill:
+		return "static/spill"
 	case ShowdownDynamicGreedy:
 		return "dynamic/greedy"
 	case ShowdownDynamicProbe:
 		return "dynamic/probe"
+	case ShowdownHybrid:
+		return "hybrid"
 	case ShowdownOracle:
 		return "oracle"
 	}
@@ -58,7 +70,8 @@ func (p ShowdownPolicy) String() string {
 // ShowdownPolicies returns the full column set in display order.
 func ShowdownPolicies() []ShowdownPolicy {
 	return []ShowdownPolicy{
-		ShowdownNone, ShowdownStatic, ShowdownDynamicGreedy, ShowdownDynamicProbe, ShowdownOracle,
+		ShowdownNone, ShowdownStatic, ShowdownStaticSpill,
+		ShowdownDynamicGreedy, ShowdownDynamicProbe, ShowdownHybrid, ShowdownOracle,
 	}
 }
 
@@ -101,9 +114,13 @@ func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) dist.Spec {
 	mode := sim.Baseline
 	params := transition.Params{}
 	ocfg := online.Config{}
+	tcfg := cfg.Tuning
 	switch p {
 	case ShowdownStatic:
 		mode, params = sim.Tuned, BestParams()
+	case ShowdownStaticSpill:
+		mode, params = sim.Tuned, BestParams()
+		tcfg.Spill = true
 	case ShowdownDynamicGreedy:
 		mode = sim.Dynamic
 		ocfg = online.DefaultConfig()
@@ -114,10 +131,14 @@ func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) dist.Spec {
 		ocfg = online.DefaultConfig()
 		ocfg.Policy = online.Probe
 		ocfg.Delta = cfg.Tuning.Delta
+	case ShowdownHybrid:
+		mode, params = sim.Hybrid, BestParams()
+		ocfg = online.DefaultConfig()
+		ocfg.Delta = cfg.Tuning.Delta
 	case ShowdownOracle:
 		mode, params = sim.Oracle, BestParams()
 	}
-	rc := cfg.runCfg(mode, params, cfg.Tuning, 0, seed, cfg.DurationSec)
+	rc := cfg.runCfg(mode, params, tcfg, 0, seed, cfg.DurationSec)
 	rc.Online = ocfg
 	return rc
 }

@@ -123,3 +123,63 @@ func TestShowdownCounterContention(t *testing.T) {
 		t.Errorf("detector sampled no windows under contention")
 	}
 }
+
+// TestShowdownHybridAtLeastStaticOnTriType pins the unified engine's
+// headline: on the three-type big/medium/little machine — where static
+// pin-to-type herds onto too few cores — the marks+windows hybrid must
+// deliver at least static throughput (it shares static's exact boundaries
+// but refreshes estimates and spills over capacity).
+func TestShowdownHybridAtLeastStaticOnTriType(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy workload sweep")
+	}
+	hex := amp.Hex2Big2Medium2Little()
+	cfg := showdownConfig(t, 5)
+	rows, err := Showdown(cfg, []*amp.Machine{hex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := rowOf(t, rows, hex.Name, ShowdownStatic)
+	hybrid := rowOf(t, rows, hex.Name, ShowdownHybrid)
+	if hybrid.Throughput < static.Throughput {
+		t.Errorf("hybrid throughput %.4g below static %.4g on the tri-type machine",
+			hybrid.Throughput, static.Throughput)
+	}
+	// The hybrid row must carry the runtime's own accounting: windows
+	// sampled, decisions refreshed, reassignments issued.
+	if hybrid.MonitorWindows == 0 || hybrid.OnlineSwitches == 0 {
+		t.Errorf("hybrid row reports no monitoring (windows %.0f, switches %.0f)",
+			hybrid.MonitorWindows, hybrid.OnlineSwitches)
+	}
+	// Hybrid executes marks (it is instrumented), unlike the dynamic rows.
+	if hybrid.MarksExecuted == 0 {
+		t.Errorf("hybrid row executed no marks")
+	}
+}
+
+// TestShowdownSpillLiftsStaticOnTri pins the herding fix: on the tri-core
+// machine (one slow core), capacity-aware spill must lift static
+// throughput — the plain runtime piles every memory phase onto the single
+// slow core while a fast core idles.
+func TestShowdownSpillLiftsStaticOnTri(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy workload sweep")
+	}
+	tri := amp.ThreeCore2Fast1Slow()
+	cfg := showdownConfig(t, 5)
+	rows, err := Showdown(cfg, []*amp.Machine{tri})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := rowOf(t, rows, tri.Name, ShowdownStatic)
+	spill := rowOf(t, rows, tri.Name, ShowdownStaticSpill)
+	if spill.Throughput <= static.Throughput {
+		t.Errorf("static/spill throughput %.4g does not beat plain static %.4g on tri",
+			spill.Throughput, static.Throughput)
+	}
+	// Spill must also cut the migration volume: arbitration damps the
+	// per-mark ping-ponging between over-subscribed types.
+	if spill.Switches >= static.Switches {
+		t.Errorf("static/spill switches %.0f not below plain static %.0f", spill.Switches, static.Switches)
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"phasetune/internal/amp"
 	"phasetune/internal/osched"
 	"phasetune/internal/perfcnt"
-	"phasetune/internal/tuning"
+	"phasetune/internal/place"
 )
 
 // taskState is the detector's per-process bookkeeping.
@@ -25,8 +25,10 @@ type taskState struct {
 	phase int
 	// ipcEWMA is the greedy policy's smoothed IPC estimate.
 	ipcEWMA float64
-	// decisions holds the probe policy's fixed per-phase measurements.
-	decisions map[int]*phaseDecision
+	// decisions holds the probe policy's fixed per-phase placements, made
+	// by the shared engine (place.Engine.Decide) once every core type has
+	// been measured for the phase.
+	decisions map[int]*place.Decision
 	// probing is true while the probe policy is steering this task to an
 	// unmeasured core type; the placement pass leaves probing tasks alone.
 	probing bool
@@ -35,64 +37,52 @@ type taskState struct {
 	wantMask uint64
 }
 
-// phaseDecision is a probe-policy placement, fixed once every core type has
-// been measured for the phase: the Algorithm 2 choice plus the measured
-// per-type instruction rates (IPC x clock) the capacity-aware placement
-// pass uses to price spilling the task onto another type.
-type phaseDecision struct {
-	choice amp.CoreTypeID
-	rates  []float64 // instructions per simulated second, per core type
+// prevType maps a task's last requested mask back to a core type for the
+// engine's hysteresis: HasPrev only when the mask is exactly one type's.
+func (ts *taskState) prevType(m *amp.Machine) (amp.CoreTypeID, bool) {
+	if ts.wantMask == 0 {
+		return 0, false
+	}
+	for i := range m.Types {
+		if ts.wantMask == m.TypeMask(amp.CoreTypeID(i)) {
+			return amp.CoreTypeID(i), true
+		}
+	}
+	return 0, false
 }
 
 // Manager is the online phase-detection runtime: it implements
 // osched.TaskMonitor, sampling every live task's virtualized counters in
-// fixed instruction windows, classifying window signatures into phases, and
-// driving the configured reassignment policy. One Manager serves one kernel
-// (one run); it is not safe for concurrent use, matching the kernel's
-// single-threaded event loop.
+// fixed instruction windows and classifying window signatures into phases.
+// Everything placement — Algorithm 2 decisions, capacity quotas, spill
+// arbitration, ranked fast-slot assignment — is delegated to the shared
+// placement engine (internal/place); the manager's own job ends at
+// producing IPC estimates and handing the engine claims. One Manager serves
+// one kernel (one run); it is not safe for concurrent use, matching the
+// kernel's single-threaded event loop.
 type Manager struct {
 	cfg     Config
 	machine *amp.Machine
 	hw      *perfcnt.Hardware
+	engine  *place.Engine
 
 	seen  int // cursor into kernel.Tasks()
 	live  []*taskState
 	stats Stats
-
-	// fastShare is the fraction of machine cycle capacity on the fastest
-	// core type, the greedy policy's fast-slot quota.
-	fastShare float64
-	fastType  amp.CoreTypeID
-	slowType  amp.CoreTypeID
 }
 
 // NewManager builds the runtime for one kernel. The hardware pool should be
 // the kernel's own (kernel.Hardware) so counter contention with any other
-// monitoring stays modeled.
-func NewManager(cfg Config, machine *amp.Machine, hw *perfcnt.Hardware) *Manager {
+// monitoring stays modeled. pcfg parameterizes the shared placement
+// engine's arbitration (zero value takes defaults).
+func NewManager(cfg Config, pcfg place.Config, machine *amp.Machine, hw *perfcnt.Hardware) *Manager {
 	cfg = cfg.Normalized()
-	m := &Manager{cfg: cfg, machine: machine, hw: hw}
-	fastCps, totalCps := 0.0, 0.0
-	m.fastType, m.slowType = 0, 0
-	for i, t := range machine.Types {
-		if t.CyclesPerSec > machine.Types[m.fastType].CyclesPerSec {
-			m.fastType = amp.CoreTypeID(i)
-		}
-		if t.CyclesPerSec < machine.Types[m.slowType].CyclesPerSec {
-			m.slowType = amp.CoreTypeID(i)
-		}
+	return &Manager{
+		cfg:     cfg,
+		machine: machine,
+		hw:      hw,
+		engine:  place.NewEngine(machine, cfg.Delta, pcfg),
 	}
-	for _, c := range machine.Cores {
-		cps := machine.Types[c.Type].CyclesPerSec
-		totalCps += cps
-		if c.Type == m.fastType {
-			fastCps += cps
-		}
-	}
-	if totalCps > 0 {
-		m.fastShare = fastCps / totalCps
-	}
-	return m
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -100,6 +90,9 @@ func (m *Manager) Config() Config { return m.cfg }
 
 // Stats returns the aggregate monitoring statistics.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// Engine returns the shared placement engine (test and diagnostic access).
+func (m *Manager) Engine() *place.Engine { return m.engine }
 
 // PhasesOf returns the classifier of a task (nil if the task was never
 // monitored) — test and diagnostic access.
@@ -127,7 +120,7 @@ func (m *Manager) OnTick(k *osched.Kernel, atPs int64) {
 			task:      t,
 			cls:       NewClassifier(m.cfg.ClassifyEps, m.cfg.MaxPhases, len(m.machine.Types)),
 			phase:     -1,
-			decisions: map[int]*phaseDecision{},
+			decisions: map[int]*place.Decision{},
 		})
 	}
 
@@ -211,7 +204,8 @@ func (m *Manager) sample(k *osched.Kernel, ts *taskState) {
 // probe drives the sampling policy for one task after a window closed on
 // phase ts.phase: steer the task toward the least-measured core type until
 // every type has ProbeWindows accepted windows, then fix the phase's
-// placement with Algorithm 2. Decided tasks are placed by probeRebalance.
+// placement with the shared engine's Algorithm 2. Decided tasks are placed
+// by probeRebalance.
 func (m *Manager) probe(k *osched.Kernel, ts *taskState) {
 	phase := ts.phase
 	if _, ok := ts.decisions[phase]; ok {
@@ -236,35 +230,25 @@ func (m *Manager) probe(k *osched.Kernel, ts *taskState) {
 		return
 	}
 	f := make([]float64, len(m.machine.Types))
-	rates := make([]float64, len(m.machine.Types))
 	for i := range f {
 		f[i], _ = ts.cls.TypeIPC(phase, amp.CoreTypeID(i))
-		rates[i] = f[i] * m.machine.Types[i].CyclesPerSec
 	}
-	ts.decisions[phase] = &phaseDecision{choice: tuning.Select(m.machine, f, m.cfg.Delta), rates: rates}
+	dec := m.engine.Decide(f)
+	ts.decisions[phase] = &dec
 	ts.probing = false
 	m.stats.Decisions++
 }
 
-// probeRebalance places every decided task, honoring measured preferences
-// under a capacity constraint. Per-phase Algorithm 2 choices alone herd
-// tasks: a workload dominated by memory-bound jobs would pile every task
-// onto the slow pair while fast cores idle. So preferences are demands, and
-// overflow beyond a type's capacity share spills the cheapest tasks — loss
-// is priced from the phase's measured per-type instruction rates, and a
-// DRAM-bound task costs ~nothing to run on a fast core (fixed wall-clock
-// memory latency), so memory phases spill to idle fast cores first.
+// probeRebalance places every decided task through the shared engine's
+// capacity arbitration (place.Engine.Arbitrate): per-phase Algorithm 2
+// choices are demands, and overflow beyond a type's cycle-capacity share
+// spills the cheapest tasks to undersubscribed types.
 func (m *Manager) probeRebalance(k *osched.Kernel) {
-	nTypes := len(m.machine.Types)
-	if nTypes < 2 {
+	if len(m.machine.Types) < 2 {
 		return
 	}
-	type placed struct {
-		ts  *taskState
-		dec *phaseDecision
-		typ amp.CoreTypeID
-	}
-	var tasks []placed
+	var placed []*taskState
+	var claims []place.Claim
 	for _, ts := range m.live {
 		if ts.probing || ts.phase < 0 {
 			continue
@@ -273,79 +257,18 @@ func (m *Manager) probeRebalance(k *osched.Kernel) {
 		if !ok {
 			continue
 		}
-		tasks = append(tasks, placed{ts: ts, dec: dec, typ: dec.choice})
+		prev, hasPrev := ts.prevType(m.machine)
+		placed = append(placed, ts)
+		claims = append(claims, place.Claim{Dec: dec, Prev: prev, HasPrev: hasPrev})
 	}
-	if len(tasks) == 0 {
+	if len(claims) == 0 {
 		return
 	}
-
-	// Capacity quota per type: cycle-capacity share of the decided tasks,
-	// with a one-task band so a task at the boundary does not flap.
-	demand := make([]int, nTypes)
-	quota := make([]int, nTypes)
-	totalCps := 0.0
-	for _, c := range m.machine.Cores {
-		totalCps += m.machine.Types[c.Type].CyclesPerSec
-	}
-	for i := range quota {
-		typCps := 0.0
-		for _, c := range m.machine.Cores {
-			if int(c.Type) == i {
-				typCps += m.machine.Types[c.Type].CyclesPerSec
-			}
-		}
-		quota[i] = int(float64(len(tasks))*typCps/totalCps + 0.5)
-	}
-	for i := range tasks {
-		demand[int(tasks[i].typ)]++
-	}
-
-	const band = 1
-	for round := 0; round < len(tasks)*nTypes; round++ {
-		// Most oversubscribed type, most undersubscribed type.
-		over, under := -1, -1
-		for i := 0; i < nTypes; i++ {
-			if demand[i] > quota[i]+band && (over == -1 || demand[i]-quota[i] > demand[over]-quota[over]) {
-				over = i
-			}
-			if demand[i] < quota[i] && (under == -1 || quota[i]-demand[i] > quota[under]-demand[under]) {
-				under = i
-			}
-		}
-		if over == -1 || under == -1 {
-			break
-		}
-		// Spill the task whose measured rate loses least on the target
-		// type; prefer tasks already spilled there (no new switch).
-		best, bestLoss := -1, 0.0
-		for i := range tasks {
-			if int(tasks[i].typ) != over {
-				continue
-			}
-			loss := tasks[i].dec.rates[over] - tasks[i].dec.rates[under]
-			if tasks[i].ts.wantMask == m.machine.TypeMask(amp.CoreTypeID(under)) {
-				loss -= tasks[i].dec.rates[over] * hysteresisBonus
-			}
-			if best == -1 || loss < bestLoss {
-				best, bestLoss = i, loss
-			}
-		}
-		if best == -1 {
-			break
-		}
-		tasks[best].typ = amp.CoreTypeID(under)
-		demand[over]--
-		demand[under]++
-	}
-
-	for _, p := range tasks {
-		m.apply(k, p.ts, m.machine.TypeMask(p.typ))
+	assigned := m.engine.Arbitrate(claims)
+	for i, ts := range placed {
+		m.apply(k, ts, m.machine.TypeMask(assigned[i]))
 	}
 }
-
-// hysteresisBonus discounts the spill loss of a task already placed on the
-// spill target, so marginal spill choices stick across ticks.
-const hysteresisBonus = 0.05
 
 // apply requests an affinity mask for a task, counting only real changes.
 func (m *Manager) apply(k *osched.Kernel, ts *taskState, mask uint64) {
@@ -359,12 +282,13 @@ func (m *Manager) apply(k *osched.Kernel, ts *taskState, mask uint64) {
 	}
 }
 
-// greedyRebalance ranks scored tasks by smoothed IPC and grants the fast
-// type's capacity share to the top of the ranking, the rest to the slowest
-// type. A one-position hysteresis band keeps tasks at the quota boundary
-// from flapping between masks every tick.
+// greedyRebalance ranks scored tasks by smoothed IPC and hands the ranking
+// to the shared engine's fast-slot assignment (place.Engine.AssignRanked):
+// the fast type's capacity share goes to the top ranks, the rest to the
+// slowest type, with a hysteresis band at the quota boundary.
 func (m *Manager) greedyRebalance(k *osched.Kernel) {
-	if m.fastType == m.slowType {
+	cap := m.engine.Capacity()
+	if cap.FastType() == cap.SlowType() {
 		return // symmetric machine: nothing to place
 	}
 	scored := make([]*taskState, 0, len(m.live))
@@ -379,38 +303,13 @@ func (m *Manager) greedyRebalance(k *osched.Kernel) {
 	sort.SliceStable(scored, func(a, b int) bool {
 		return scored[a].ipcEWMA > scored[b].ipcEWMA
 	})
-	// Fast-slot quota: the fast type's cycle-capacity share of the ranked
-	// tasks — but never below one task per fast core while fast cores are
-	// undersubscribed (on an idle machine every task belongs on a fast
-	// core; pinning the lower ranks to slow cores would only idle capacity).
-	quota := int(float64(len(scored))*m.fastShare + 0.5)
-	if nFast := len(m.machine.CoresOfType(m.fastType)); quota < nFast {
-		quota = nFast
-		if quota > len(scored) {
-			quota = len(scored)
-		}
-	}
-	const band = 1
-	fastMask := m.machine.TypeMask(m.fastType)
-	slowMask := m.machine.TypeMask(m.slowType)
+	claims := make([]place.Claim, len(scored))
 	for i, ts := range scored {
-		// Clear of the boundary band, the quota decides; inside the band an
-		// already-placed task keeps its side (hysteresis) and an unplaced
-		// task takes the raw quota cut — so the quota fills from a cold
-		// start even when it is no larger than the band.
-		var mask uint64
-		switch {
-		case i < quota-band:
-			mask = fastMask
-		case i >= quota+band:
-			mask = slowMask
-		case ts.wantMask == fastMask || ts.wantMask == slowMask:
-			mask = ts.wantMask
-		case i < quota:
-			mask = fastMask
-		default:
-			mask = slowMask
-		}
-		m.apply(k, ts, mask)
+		prev, hasPrev := ts.prevType(m.machine)
+		claims[i] = place.Claim{Prev: prev, HasPrev: hasPrev}
+	}
+	assigned := m.engine.AssignRanked(claims)
+	for i, ts := range scored {
+		m.apply(k, ts, m.machine.TypeMask(assigned[i]))
 	}
 }

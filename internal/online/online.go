@@ -18,7 +18,7 @@
 //     asymmetric multicore processors"): per-phase speedup estimates drive
 //     either a greedy IPC ranking over fast-core slots or a sampling probe
 //     that measures each phase on every core type and then applies the
-//     paper's own Algorithm 2 (tuning.Select) — mark-free.
+//     paper's own Algorithm 2 (place.Select) — mark-free.
 //
 // The Manager hangs off the kernel's periodic TaskMonitor hook, draws
 // counter event sets from the same bounded perfcnt.Hardware pool as the
@@ -51,7 +51,7 @@ const (
 	Greedy PolicyKind = iota
 	// Probe steers each newly detected phase across every core type,
 	// measures its windowed IPC there, and then fixes the phase's placement
-	// with the paper's Algorithm 2 (tuning.Select) — the mark-free temporal
+	// with the paper's Algorithm 2 (place.Select) — the mark-free temporal
 	// analogue of the static runtime's representative-section sampling.
 	Probe
 )
@@ -174,10 +174,15 @@ type Stats struct {
 	ChargedCycles uint64
 	// Switches counts reassignments that changed a task's affinity mask.
 	Switches int
-	// Phases counts phase clusters founded across all tasks.
+	// Phases counts phase clusters founded across all tasks (hybrid runs:
+	// distinct mark-declared phase types entered).
 	Phases int
-	// Decisions counts probe-policy placements fixed via Algorithm 2.
+	// Decisions counts placements fixed via Algorithm 2.
 	Decisions int
+	// Refreshes counts hybrid decision refreshes after the first fix:
+	// monitor windows keep updating the per-phase IPC estimates, and each
+	// refreshed estimate re-runs Algorithm 2 over current evidence.
+	Refreshes int
 }
 
 // ipcStat is a running per-core-type IPC mean.

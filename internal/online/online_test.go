@@ -9,10 +9,10 @@ import (
 	"phasetune/internal/osched"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 	"phasetune/internal/prog"
 	"phasetune/internal/sim"
 	"phasetune/internal/transition"
-	"phasetune/internal/tuning"
 	"phasetune/internal/workload"
 )
 
@@ -122,7 +122,7 @@ func TestProbeConvergesToAlgorithm2(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			p := stableProgram(t, tc.name, tc.mix, 20000)
-			want := machine.TypeMask(tuning.Select(machine, isolatedIPC(t, p, cm, machine), ocfg.Delta))
+			want := machine.TypeMask(place.Select(machine, isolatedIPC(t, p, cm, machine), ocfg.Delta))
 
 			bench := &workload.Benchmark{Spec: workload.BenchSpec{Name: tc.name}, Prog: p}
 			w := &workload.Workload{Slots: [][]*workload.Benchmark{{bench}}}

@@ -4,7 +4,7 @@ import (
 	"phasetune/internal/amp"
 	"phasetune/internal/exec"
 	"phasetune/internal/phase"
-	"phasetune/internal/tuning"
+	"phasetune/internal/place"
 )
 
 // OracleAssignments computes the perfect-knowledge placement for an
@@ -64,7 +64,7 @@ func OracleAssignments(img *exec.Image, topts phase.Options, cm exec.CostModel,
 		for t := range f {
 			f[t] = a.ipcW[t] / a.w
 		}
-		out[pt] = m.TypeMask(tuning.Select(m, f, delta))
+		out[pt] = m.TypeMask(place.Select(m, f, delta))
 	}
 	return out, nil
 }

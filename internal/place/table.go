@@ -1,0 +1,113 @@
+package place
+
+import "phasetune/internal/amp"
+
+// Table is the per-phase decision table every placement consumer
+// accumulates into: running per-(phase, core-type) IPC means plus the fixed
+// Decision once enough evidence exists. Phases are opaque small integers —
+// the static runtime keys by phase.Type, the online runtimes by cluster or
+// mark-declared phase index.
+type Table struct {
+	numTypes int
+	rows     map[int]*tableRow
+}
+
+// tableRow is one phase's accumulation state.
+type tableRow struct {
+	sum []float64
+	n   []int
+	dec *Decision
+}
+
+// NewTable builds a table for a machine with numTypes core types.
+func NewTable(numTypes int) *Table {
+	return &Table{numTypes: numTypes, rows: map[int]*tableRow{}}
+}
+
+// row returns (allocating) a phase's row.
+func (t *Table) row(phase int) *tableRow {
+	r, ok := t.rows[phase]
+	if !ok {
+		r = &tableRow{sum: make([]float64, t.numTypes), n: make([]int, t.numTypes)}
+		t.rows[phase] = r
+	}
+	return r
+}
+
+// Add records one IPC sample for a phase on a core type.
+func (t *Table) Add(phase int, ct amp.CoreTypeID, ipc float64) {
+	r := t.row(phase)
+	r.sum[ct] += ipc
+	r.n[ct]++
+}
+
+// Count returns a phase's sample count on a core type.
+func (t *Table) Count(phase int, ct amp.CoreTypeID) int {
+	r, ok := t.rows[phase]
+	if !ok {
+		return 0
+	}
+	return r.n[ct]
+}
+
+// Ready reports whether every core type has at least k samples for a phase.
+func (t *Table) Ready(phase, k int) bool {
+	r, ok := t.rows[phase]
+	if !ok {
+		return false
+	}
+	for _, n := range r.n {
+		if n < k {
+			return false
+		}
+	}
+	return true
+}
+
+// Means returns the per-type IPC means of a phase (0 for unsampled types).
+func (t *Table) Means(phase int) []float64 {
+	out := make([]float64, t.numTypes)
+	r, ok := t.rows[phase]
+	if !ok {
+		return out
+	}
+	for i := range out {
+		if r.n[i] > 0 {
+			out[i] = r.sum[i] / float64(r.n[i])
+		}
+	}
+	return out
+}
+
+// LeastMeasured returns the core type with the fewest samples for a phase,
+// breaking ties round-robin from a caller-supplied offset so concurrent
+// probers spread across core types instead of all probing type 0 first.
+func (t *Table) LeastMeasured(phase, offset int) amp.CoreTypeID {
+	start := offset % t.numTypes
+	if start < 0 {
+		start = 0
+	}
+	r := t.row(phase)
+	best, bestN := start, int(^uint(0)>>1)
+	for i := 0; i < t.numTypes; i++ {
+		ct := (start + i) % t.numTypes
+		if r.n[ct] < bestN {
+			best, bestN = ct, r.n[ct]
+		}
+	}
+	return amp.CoreTypeID(best)
+}
+
+// SetDecision fixes (or refreshes) a phase's decision.
+func (t *Table) SetDecision(phase int, dec Decision) {
+	t.row(phase).dec = &dec
+}
+
+// DecisionOf returns a phase's fixed decision, or nil while undecided.
+func (t *Table) DecisionOf(phase int) *Decision {
+	r, ok := t.rows[phase]
+	if !ok {
+		return nil
+	}
+	return r.dec
+}

@@ -19,6 +19,7 @@ import (
 	"phasetune/internal/online"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 	"phasetune/internal/rng"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
@@ -44,6 +45,12 @@ const (
 	// every mark resolves to the statically computed Algorithm 2 choice with
 	// zero monitoring. The upper bound of the static-vs-dynamic showdown.
 	Oracle
+	// Hybrid runs instrumented programs under the marks+windows hybrid
+	// runtime (online.Hybrid): marks define phase boundaries, monitor
+	// windows refresh the per-phase IPC estimates, and the shared placement
+	// engine re-arbitrates at boundaries — the paper's §VI-B feedback
+	// mechanism grown into a full policy.
+	Hybrid
 )
 
 // String names the mode.
@@ -59,6 +66,8 @@ func (m Mode) String() string {
 		return "dynamic"
 	case Oracle:
 		return "oracle"
+	case Hybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -82,9 +91,14 @@ type RunConfig struct {
 	// Tuning configures the runtime (used when Mode == Tuned; Overhead
 	// forces all-cores mode). Oracle mode reads only Tuning.Delta.
 	Tuning tuning.Config
-	// Online configures the dynamic detector (used when Mode == Dynamic;
-	// zero fields take online.DefaultConfig values).
+	// Online configures the dynamic detector (used when Mode == Dynamic or
+	// Hybrid; zero fields take online.DefaultConfig values).
 	Online online.Config
+	// Placement parameterizes the shared placement engine's capacity
+	// arbitration (spill band, hysteresis) for every engine-backed mode:
+	// Dynamic, Hybrid, and Tuned with Tuning.Spill. Zero fields take
+	// place.DefaultConfig values.
+	Placement place.Config
 	// TypingOpts configures static block typing.
 	TypingOpts phase.Options
 	// TypingError injects clustering error (Fig. 7); fraction in [0,1].
@@ -122,8 +136,8 @@ type Result struct {
 	TotalInstructions uint64
 	// CounterDefers counts monitoring requests that found no free event set.
 	CounterDefers uint64
-	// Online holds the dynamic detector's monitoring statistics (nil unless
-	// the run used Mode Dynamic).
+	// Online holds the monitoring statistics of the runtime-detection
+	// modes (nil unless the run used Mode Dynamic or Hybrid).
 	Online *online.Stats
 	// Images reports per-benchmark instrumentation statistics.
 	Images map[string]ImageStats
@@ -168,6 +182,12 @@ func RunWithHook(cfg RunConfig, factory HookFactory) (*Result, error) {
 // hook choice (used by the temporal-adaptation baseline from the
 // related-work ablation).
 func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory) (*Result, error) {
+	if cfg.Mode < Baseline || cfg.Mode > Hybrid {
+		// An unknown mode must fail loudly: it would otherwise fall through
+		// every hook switch and run as a silent baseline — a spec from a
+		// newer wire generation would commit wrong-but-plausible bytes.
+		return nil, fmt.Errorf("sim: unknown run mode %d", int(cfg.Mode))
+	}
 	machine := cfg.Machine
 	if machine == nil {
 		machine = amp.Quad2Fast2Slow()
@@ -237,7 +257,8 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	}
 
 	onlCfg := cfg.Online.Normalized()
-	if cfg.Mode == Dynamic {
+	pcfg := cfg.Placement.Normalized()
+	if cfg.Mode == Dynamic || cfg.Mode == Hybrid {
 		sched.MonitorIntervalSec = onlCfg.TickSec
 	}
 	kernel, err := osched.NewKernel(machine, cost, sched)
@@ -245,9 +266,14 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		return nil, err
 	}
 	var monitor *online.Manager
-	if cfg.Mode == Dynamic {
-		monitor = online.NewManager(onlCfg, machine, kernel.Hardware)
+	var hybrid *online.Hybrid
+	switch cfg.Mode {
+	case Dynamic:
+		monitor = online.NewManager(onlCfg, pcfg, machine, kernel.Hardware)
 		kernel.Monitor = monitor
+	case Hybrid:
+		hybrid = online.NewHybrid(onlCfg, pcfg, machine, kernel.Hardware)
+		kernel.Monitor = hybrid
 	}
 	if cfg.Events.OnProgress != nil {
 		onProgress := cfg.Events.OnProgress
@@ -262,6 +288,12 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		tcfg.Mode = tuning.ModeTune
 	case Overhead:
 		tcfg.Mode = tuning.ModeAllCores
+	}
+	// Capacity-aware static runs share one placement engine across every
+	// tuner of the kernel — spill arbitration needs the machine-wide view.
+	var spillEng *place.Engine
+	if cfg.Mode == Tuned && tcfg.Spill {
+		spillEng = place.NewEngine(machine, tcfg.Delta, pcfg)
 	}
 
 	// Per-slot queue positions; spawn the next job of a slot on completion.
@@ -285,9 +317,15 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		case factory != nil:
 			hook = factory(k, img)
 		case cfg.Mode == Tuned || cfg.Mode == Overhead:
-			hook = tuning.NewTuner(tcfg, machine, k.Hardware, img)
+			t := tuning.NewTuner(tcfg, machine, k.Hardware, img)
+			if spillEng != nil {
+				t.SetEngine(spillEng)
+			}
+			hook = t
 		case cfg.Mode == Oracle:
 			hook = online.NewOracleHook(img, oracleMasks[img])
+		case cfg.Mode == Hybrid:
+			hook = hybrid.Hook(img)
 		}
 		p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, slotSeeds[slot].Uint64(), hook)
 		k.Spawn(p, b.Name(), slot, 0)
@@ -335,6 +373,10 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		stats := monitor.Stats()
 		res.Online = &stats
 	}
+	if hybrid != nil {
+		stats := hybrid.Stats()
+		res.Online = &stats
+	}
 	return res, nil
 }
 
@@ -354,16 +396,17 @@ type IsolationResult struct {
 // IsolationSpec configures an isolation campaign: every suite benchmark
 // runs alone on the machine.
 type IsolationSpec struct {
-	Suite   []*workload.Benchmark
-	Machine *amp.Machine
-	Cost    exec.CostModel
-	Sched   osched.Config
-	Mode    Mode
-	Params  transition.Params
-	Tuning  tuning.Config
-	Online  online.Config
-	Typing  phase.Options
-	Seed    uint64
+	Suite     []*workload.Benchmark
+	Machine   *amp.Machine
+	Cost      exec.CostModel
+	Sched     osched.Config
+	Mode      Mode
+	Params    transition.Params
+	Tuning    tuning.Config
+	Online    online.Config
+	Placement place.Config
+	Typing    phase.Options
+	Seed      uint64
 	// Workers bounds concurrent isolation runs (<=1 means sequential).
 	Workers int
 	// Cache, when set, serves prepared images.
@@ -418,19 +461,29 @@ func IsolationContext(ctx context.Context, spec IsolationSpec) (map[string]Isola
 		}
 		img := art.Image
 		sched := spec.Sched
-		if spec.Mode == Dynamic {
+		if spec.Mode == Dynamic || spec.Mode == Hybrid {
 			sched.MonitorIntervalSec = onlCfg.TickSec
 		}
 		kernel, err := osched.NewKernel(machine, spec.Cost, sched)
 		if err != nil {
 			return IsolationResult{}, err
 		}
+		pcfg := spec.Placement.Normalized()
 		var hook exec.MarkHook
 		switch spec.Mode {
 		case Tuned, Overhead:
-			hook = tuning.NewTuner(tcfg, machine, kernel.Hardware, img)
+			t := tuning.NewTuner(tcfg, machine, kernel.Hardware, img)
+			if tcfg.Spill {
+				eng := place.NewEngine(machine, tcfg.Delta, pcfg)
+				t.SetEngine(eng)
+			}
+			hook = t
 		case Dynamic:
-			kernel.Monitor = online.NewManager(onlCfg, machine, kernel.Hardware)
+			kernel.Monitor = online.NewManager(onlCfg, pcfg, machine, kernel.Hardware)
+		case Hybrid:
+			hm := online.NewHybrid(onlCfg, pcfg, machine, kernel.Hardware)
+			kernel.Monitor = hm
+			hook = hm.Hook(img)
 		case Oracle:
 			masks, err := online.OracleAssignments(img, topts, spec.Cost, machine, tcfg.Delta)
 			if err != nil {

@@ -13,12 +13,12 @@ package tuning
 
 import (
 	"fmt"
-	"sort"
 
 	"phasetune/internal/amp"
 	"phasetune/internal/exec"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 )
 
 // Mode selects the runtime behavior of phase marks.
@@ -60,6 +60,15 @@ type Config struct {
 	// type (see DESIGN.md). The type pin is the default; the ablation
 	// benchmark compares both.
 	PinSingleCore bool
+	// Spill enables capacity-aware spill arbitration: decided phase types
+	// register their measured per-type rates as claims with a shared
+	// placement engine (one per kernel), and masks come from the engine's
+	// capacity arbitration instead of a raw type pin. This is the ablation
+	// that fixes static pin-to-type herding on memory-dominant workloads
+	// (every task's Algorithm 2 choice lands on the slow cores while fast
+	// cores idle); see place.Engine.Arbitrate. Implies type-level pinning
+	// (PinSingleCore is ignored).
+	Spill bool
 }
 
 // DefaultConfig is the headline configuration. The paper's Table 2 row uses
@@ -86,6 +95,9 @@ type typeTable struct {
 	decided bool
 	target  amp.CoreTypeID
 	mask    uint64
+	// dec is the engine decision when spill arbitration is on (nil
+	// otherwise): masks then come from the shared engine, not mask.
+	dec *place.Decision
 }
 
 // monitorState is an in-flight representative-section measurement.
@@ -102,6 +114,11 @@ type Tuner struct {
 	machine *amp.Machine
 	hw      *perfcnt.Hardware
 	marks   markTable
+
+	// engine is the shared placement engine (one per kernel) when spill
+	// arbitration is on; nil reproduces the plain pin-to-type runtime.
+	engine *place.Engine
+	pid    int
 
 	tables  map[phase.Type]*typeTable
 	cur     phase.Type
@@ -139,6 +156,24 @@ func NewTuner(cfg Config, machine *amp.Machine, hw *perfcnt.Hardware, marks mark
 	}
 }
 
+// SetEngine attaches the shared placement engine that capacity-aware spill
+// (Config.Spill) arbitrates through. One engine serves every tuner of a
+// kernel; the simulator wires it when the run config asks for spill.
+func (tu *Tuner) SetEngine(e *place.Engine) { tu.engine = e }
+
+// spilling reports whether masks come from shared-engine arbitration.
+func (tu *Tuner) spilling() bool { return tu.engine != nil && tu.cfg.Spill }
+
+// maskFor resolves a decided phase type's affinity mask: the engine's
+// arbitrated mask under spill, the fixed pin otherwise.
+func (tu *Tuner) maskFor(tbl *typeTable) uint64 {
+	if tu.spilling() && tbl.dec != nil {
+		tu.engine.Enter(tu.pid, *tbl.dec)
+		return tu.engine.MaskFor(tu.pid)
+	}
+	return tbl.mask
+}
+
 // table returns (allocating) the state for a phase type.
 func (tu *Tuner) table(pt phase.Type) *typeTable {
 	t, ok := tu.tables[pt]
@@ -153,6 +188,7 @@ func (tu *Tuner) table(pt phase.Type) *typeTable {
 // OnMark implements exec.MarkHook: the executable payload of a phase mark.
 func (tu *Tuner) OnMark(p *exec.Process, markID int, coreID int) exec.MarkAction {
 	pt := tu.marks.MarkType(markID)
+	tu.pid = p.PID
 
 	// A mark ends the section being monitored, whatever its type.
 	if tu.mon.active {
@@ -177,13 +213,18 @@ func (tu *Tuner) OnMark(p *exec.Process, markID int, coreID int) exec.MarkAction
 
 	if tbl.decided {
 		tu.SwitchRequests++
-		return exec.MarkAction{Mask: tbl.mask}
+		return exec.MarkAction{Mask: tu.maskFor(tbl)}
 	}
 
 	// Still sampling: steer this representative section to the core type
 	// with the fewest samples and start monitoring there if a counter event
 	// set is free. If none is free we still steer, and sample next time
 	// (the paper waits on counters; the deferral is counted by perfcnt).
+	// An undecided phase is not a capacity claim — probing overrides
+	// arbitration until the decision lands.
+	if tu.spilling() {
+		tu.engine.Leave(p.PID)
+	}
 	ct := tu.nextProbe(tbl, p.PID)
 	mask := tu.machine.TypeMask(ct)
 	if tu.hw.TryAcquire() {
@@ -246,22 +287,31 @@ func (tu *Tuner) decide(pt phase.Type, tbl *typeTable) {
 	for ct, s := range tbl.samples {
 		f[ct] = mean(s)
 	}
-	target := Select(tu.machine, f, tu.cfg.Delta)
 	tbl.decided = true
-	tbl.target = target
-	if tu.cfg.PinSingleCore {
-		cores := tu.machine.CoresOfType(target)
-		tbl.mask = amp.CoreMask(cores[0])
+	if tu.spilling() {
+		dec := tu.engine.Decide(f)
+		tbl.dec = &dec
+		tbl.target = dec.Choice
 	} else {
-		tbl.mask = tu.machine.TypeMask(target)
+		tbl.target = place.Select(tu.machine, f, tu.cfg.Delta)
+		if tu.cfg.PinSingleCore {
+			cores := tu.machine.CoresOfType(tbl.target)
+			tbl.mask = amp.CoreMask(cores[0])
+		} else {
+			tbl.mask = tu.machine.TypeMask(tbl.target)
+		}
 	}
-	tu.Decisions[pt] = target
+	tu.Decisions[pt] = tbl.target
 }
 
-// OnExit implements exec.MarkHook: release any held event set.
+// OnExit implements exec.MarkHook: release any held event set and withdraw
+// the process's capacity claim.
 func (tu *Tuner) OnExit(p *exec.Process) {
 	if tu.mon.active {
 		tu.finishMonitor(p)
+	}
+	if tu.spilling() {
+		tu.engine.Leave(p.PID)
 	}
 }
 
@@ -283,7 +333,7 @@ func (tu *Tuner) OnQuantum(p *exec.Process, coreID int) exec.MarkAction {
 	tbl := tu.table(pt)
 	if tbl.decided {
 		tu.SwitchRequests++
-		return exec.MarkAction{Mask: tbl.mask}
+		return exec.MarkAction{Mask: tu.maskFor(tbl)}
 	}
 	ct := tu.nextProbe(tbl, p.PID)
 	if tu.hw.TryAcquire() {
@@ -297,51 +347,6 @@ func (tu *Tuner) OnQuantum(p *exec.Process, coreID int) exec.MarkAction {
 func (tu *Tuner) Decided(pt phase.Type) bool {
 	t, ok := tu.tables[pt]
 	return ok && t.decided
-}
-
-// tieEps is the relative IPC difference below which two measurements are
-// treated as a tie when ordering candidates in Select. Measured IPC carries
-// sampling noise (branch-variant mix, mark payloads); without an epsilon,
-// compute-bound phases — whose true IPC is core-invariant — would start from
-// an arbitrary candidate. Memory-phase gaps are tens of percent relative, so
-// 3% never masks a real difference.
-const tieEps = 0.03
-
-// Select is the paper's Algorithm 2 generalized over core *types* (§VI-C
-// reduces many-core machines to a few types): sort candidates by measured
-// IPC ascending; start from the lowest; step to the next candidate only when
-// the consecutive IPC gap exceeds delta. Ties (within tieEps relative) place
-// faster (higher-frequency) types first, so compute-bound phases — whose IPC
-// is core-invariant — default to fast cores.
-func Select(machine *amp.Machine, f []float64, delta float64) amp.CoreTypeID {
-	n := len(f)
-	if n == 0 {
-		return 0
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := order[a], order[b]
-		hi := f[ca]
-		if f[cb] > hi {
-			hi = f[cb]
-		}
-		if d := f[ca] - f[cb]; d > tieEps*hi || d < -tieEps*hi {
-			return f[ca] < f[cb]
-		}
-		// Tie: faster type first.
-		return machine.Types[ca].FreqGHz > machine.Types[cb].FreqGHz
-	})
-	d := order[0]
-	for i := 0; i+1 < n; i++ {
-		theta := f[order[i+1]] - f[order[i]]
-		if theta > delta && f[order[i+1]] > f[d] {
-			d = order[i+1]
-		}
-	}
-	return amp.CoreTypeID(d)
 }
 
 func mean(xs []float64) float64 {

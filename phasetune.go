@@ -66,6 +66,7 @@ import (
 	"phasetune/internal/online"
 	"phasetune/internal/osched"
 	"phasetune/internal/phase"
+	"phasetune/internal/place"
 	"phasetune/internal/prog"
 	"phasetune/internal/sim"
 	"phasetune/internal/transition"
@@ -175,6 +176,11 @@ type (
 	OnlineStats = online.Stats
 	// OnlinePolicyKind selects the dynamic reassignment policy.
 	OnlinePolicyKind = online.PolicyKind
+	// PlacementConfig parameterizes the shared placement engine's capacity
+	// arbitration (spill band, hysteresis) — the unified Algorithm-2/
+	// capacity core every placement policy funnels through
+	// (internal/place).
+	PlacementConfig = place.Config
 )
 
 // Online reassignment policies (OnlineConfig.Policy).
@@ -194,10 +200,15 @@ func DefaultTuning() TuningConfig { return tuning.DefaultConfig() }
 // DefaultOnline returns the online detector's showdown operating point.
 func DefaultOnline() OnlineConfig { return online.DefaultConfig() }
 
+// DefaultPlacement returns the placement engine's default arbitration
+// parameters (spill band 1, hysteresis 5%).
+func DefaultPlacement() PlacementConfig { return place.DefaultConfig() }
+
 // Select is the paper's Algorithm 2: choose the core type for a phase given
-// per-type measured IPC and threshold delta.
+// per-type measured IPC and threshold delta. The single implementation
+// lives in the unified placement engine (internal/place).
 func Select(m *Machine, ipcPerType []float64, delta float64) amp.CoreTypeID {
-	return tuning.Select(m, ipcPerType, delta)
+	return place.Select(m, ipcPerType, delta)
 }
 
 // Workloads and simulation.

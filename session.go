@@ -33,6 +33,12 @@ const (
 	// placement — zero monitoring, zero misprediction; the upper bound both
 	// techniques chase.
 	PolicyOracle
+	// PolicyHybrid runs instrumented binaries under the marks+windows
+	// hybrid: marks define phase boundaries, monitor windows keep the
+	// per-phase IPC estimates fresh, and the shared placement engine
+	// re-arbitrates at boundaries (the paper's §VI-B feedback mechanism
+	// grown into a full policy).
+	PolicyHybrid
 )
 
 // String names the policy.
@@ -48,6 +54,8 @@ func (p Policy) String() string {
 		return "dynamic"
 	case PolicyOracle:
 		return "oracle"
+	case PolicyHybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
@@ -63,8 +71,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyDynamic, nil
 	case "oracle":
 		return PolicyOracle, nil
+	case "hybrid":
+		return PolicyHybrid, nil
 	}
-	return PolicyDefault, fmt.Errorf("unknown policy %q (want none|static|dynamic|oracle)", s)
+	return PolicyDefault, fmt.Errorf("unknown policy %q (want none|static|dynamic|oracle|hybrid)", s)
 }
 
 // mode lowers a policy onto the simulator run mode.
@@ -76,6 +86,8 @@ func (p Policy) mode() RunMode {
 		return sim.Dynamic
 	case PolicyOracle:
 		return sim.Oracle
+	case PolicyHybrid:
+		return sim.Hybrid
 	}
 	return sim.Baseline
 }
@@ -89,16 +101,17 @@ func (p Policy) mode() RunMode {
 //
 // A Session is safe for concurrent use.
 type Session struct {
-	machine *Machine
-	cost    CostModel
-	sched   SchedulerConfig
-	typing  TypingOptions
-	tuning  TuningConfig
-	online  OnlineConfig
-	policy  Policy
-	cache   *ImageCache
-	workers int
-	events  Events
+	machine   *Machine
+	cost      CostModel
+	sched     SchedulerConfig
+	typing    TypingOptions
+	tuning    TuningConfig
+	online    OnlineConfig
+	placement PlacementConfig
+	policy    Policy
+	cache     *ImageCache
+	workers   int
+	events    Events
 
 	// suiteOnce lazily generates the benchmark suite for (cost, machine),
 	// shared by every run whose spec describes its workload as Queues.
@@ -137,9 +150,15 @@ func WithTuning(t TuningConfig) SessionOption { return func(s *Session) { s.tuni
 func WithPolicy(p Policy) SessionOption { return func(s *Session) { s.policy = p } }
 
 // WithOnline sets the default online-detector configuration used by
-// PolicyDynamic runs (default: DefaultOnline). Individual runs may override
-// it via RunSpec.Online.
+// PolicyDynamic and PolicyHybrid runs (default: DefaultOnline). Individual
+// runs may override it via RunSpec.Online.
 func WithOnline(c OnlineConfig) SessionOption { return func(s *Session) { s.online = c } }
+
+// WithPlacement sets the default shared-placement-engine configuration —
+// capacity spill band and hysteresis — used by every engine-backed run
+// (PolicyDynamic, PolicyHybrid, and static runs with TuningConfig.Spill).
+// Individual runs may override it via RunSpec.Placement.
+func WithPlacement(c PlacementConfig) SessionOption { return func(s *Session) { s.placement = c } }
 
 // WithCache shares an existing artifact cache (default: a fresh cache).
 // Pass the same cache to several sessions to share prepared images across
@@ -160,13 +179,14 @@ func WithEvents(e Events) SessionOption { return func(s *Session) { s.events = e
 //	)
 func NewSession(opts ...SessionOption) *Session {
 	s := &Session{
-		machine: QuadAMP(),
-		cost:    DefaultCost(),
-		sched:   DefaultScheduler(),
-		typing:  DefaultTyping(),
-		tuning:  DefaultTuning(),
-		online:  DefaultOnline(),
-		cache:   NewImageCache(),
+		machine:   QuadAMP(),
+		cost:      DefaultCost(),
+		sched:     DefaultScheduler(),
+		typing:    DefaultTyping(),
+		tuning:    DefaultTuning(),
+		online:    DefaultOnline(),
+		placement: DefaultPlacement(),
+		cache:     NewImageCache(),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -208,8 +228,11 @@ type RunSpec struct {
 	// Tuning overrides the session tuning configuration when non-nil.
 	Tuning *TuningConfig
 	// Online overrides the session online-detector configuration when
-	// non-nil (PolicyDynamic runs).
+	// non-nil (PolicyDynamic and PolicyHybrid runs).
 	Online *OnlineConfig
+	// Placement overrides the session placement-engine configuration when
+	// non-nil (engine-backed runs: dynamic, hybrid, static with spill).
+	Placement *PlacementConfig
 	// TypingError injects clustering error (Fig. 7 methodology).
 	TypingError float64
 	// Seed drives workload process seeds and error injection.
@@ -219,7 +242,7 @@ type RunSpec struct {
 // resolve lowers a spec's policy and per-run overrides onto concrete run
 // parameters: the spec's Policy wins, then an explicit legacy Mode, then
 // the session policy, then legacy Baseline.
-func (s *Session) resolve(spec RunSpec) (mode RunMode, params TechniqueParams, tcfg TuningConfig, ocfg OnlineConfig) {
+func (s *Session) resolve(spec RunSpec) (mode RunMode, params TechniqueParams, tcfg TuningConfig, ocfg OnlineConfig, pcfg PlacementConfig) {
 	tcfg = s.tuning
 	if spec.Tuning != nil {
 		tcfg = *spec.Tuning
@@ -227,6 +250,10 @@ func (s *Session) resolve(spec RunSpec) (mode RunMode, params TechniqueParams, t
 	ocfg = s.online
 	if spec.Online != nil {
 		ocfg = *spec.Online
+	}
+	pcfg = s.placement
+	if spec.Placement != nil {
+		pcfg = *spec.Placement
 	}
 	mode = spec.Mode
 	policy := spec.Policy
@@ -236,11 +263,11 @@ func (s *Session) resolve(spec RunSpec) (mode RunMode, params TechniqueParams, t
 	params = spec.Params
 	if policy != PolicyDefault {
 		mode = policy.mode()
-		if params == (TechniqueParams{}) && (policy == PolicyStatic || policy == PolicyOracle) {
+		if params == (TechniqueParams{}) && (policy == PolicyStatic || policy == PolicyOracle || policy == PolicyHybrid) {
 			params = BestParams()
 		}
 	}
-	return mode, params, tcfg, ocfg
+	return mode, params, tcfg, ocfg, pcfg
 }
 
 // Suite returns the benchmark suite for the session's cost model and
@@ -255,7 +282,7 @@ func (s *Session) Suite() ([]*Benchmark, error) {
 
 // runConfig lowers a spec onto the session environment.
 func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
-	mode, params, tcfg, ocfg := s.resolve(spec)
+	mode, params, tcfg, ocfg, pcfg := s.resolve(spec)
 	w := spec.Workload
 	if w == nil && spec.Queues != nil {
 		suite, err := s.Suite()
@@ -275,6 +302,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 		Params:      params,
 		Tuning:      tcfg,
 		Online:      ocfg,
+		Placement:   pcfg,
 		TypingOpts:  s.typing,
 		TypingError: spec.TypingError,
 		Seed:        spec.Seed,
