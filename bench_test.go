@@ -209,7 +209,7 @@ func BenchmarkThreeCoreSetup(b *testing.B) {
 	}
 }
 
-// Ablations (DESIGN.md §5).
+// Ablations (DESIGN.md §5, "Experiment drivers").
 
 func BenchmarkAblationPinMode(b *testing.B) {
 	cfg := benchConfig(b)

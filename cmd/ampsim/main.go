@@ -7,13 +7,17 @@
 // Usage:
 //
 //	ampsim [-policy none|static|dynamic|oracle|hybrid] [-mode overhead]
-//	       [-online greedy|probe] [-spill] [-slots 18] [-duration 400]
-//	       [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
-//	       [-technique loop] [-min 45] [-window 8000] [-progress]
+//	       [-online greedy|probe] [-spill] [-drift 0.05] [-slots 18]
+//	       [-duration 400] [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
+//	       [-technique loop] [-min 45] [-window 8000] [-alt N] [-progress]
 //
 // -policy selects the placement policy (default static). -spill enables
 // capacity-aware spill arbitration in the static runtime (the shared
-// placement engine's ablation). -mode overhead is the legacy all-cores
+// placement engine's ablation). -drift sets the hybrid's re-decision
+// damping threshold ε (0 re-decides on every accepted window). -alt N
+// replaces the suite workload with the anchored alternation fleet at N
+// alternations (workload.Spec.Materialize) — the breakdown experiment's
+// rate axis, one point at a time. -mode overhead is the legacy all-cores
 // overhead methodology and overrides -policy.
 package main
 
@@ -43,6 +47,8 @@ func main() {
 	technique := flag.String("technique", "loop", "bb, interval, or loop")
 	minSize := flag.Int("min", 45, "minimum section size")
 	window := flag.Uint64("window", 0, "online detection window in instructions (0 = default)")
+	drift := flag.Float64("drift", 0, "hybrid re-decision damping threshold ε (0 = undamped)")
+	alt := flag.Int("alt", 0, "run the synthetic alternator at N alternations instead of the suite (0 = suite)")
 	progress := flag.Bool("progress", false, "print simulated-time progress")
 	flag.Parse()
 
@@ -50,7 +56,8 @@ func main() {
 		policy: *policy, mode: *mode, onlinePolicy: *onlinePolicy, spill: *spill,
 		slots: *slots, duration: *duration, seed: *seed,
 		machine: *machineFlag, delta: *delta, technique: *technique,
-		minSize: *minSize, window: *window, progress: *progress,
+		minSize: *minSize, window: *window, drift: *drift, alt: *alt,
+		progress: *progress,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
 		os.Exit(1)
@@ -67,6 +74,8 @@ type options struct {
 	delta                      float64
 	minSize                    int
 	window                     uint64
+	drift                      float64
+	alt                        int
 	progress                   bool
 }
 
@@ -122,11 +131,20 @@ func run(o options) error {
 	}
 
 	cost := phasetune.DefaultCost()
-	suite, err := phasetune.SuiteFor(cost, machine)
-	if err != nil {
-		return err
+	if o.alt > 0 {
+		// The synthetic alternation-rate axis: the anchored alternation
+		// fleet (alternator + antiphase rotation + stable anchors),
+		// materialized by the session.
+		spec.Queues = &phasetune.WorkloadSpec{
+			Slots: o.slots, QueueLen: 256, Seed: o.seed, Alternations: o.alt,
+		}
+	} else {
+		suite, err := phasetune.SuiteFor(cost, machine)
+		if err != nil {
+			return err
+		}
+		spec.Workload = phasetune.NewWorkload(suite, o.slots, 256, o.seed)
 	}
-	spec.Workload = phasetune.NewWorkload(suite, o.slots, 256, o.seed)
 
 	tcfg := phasetune.DefaultTuning()
 	tcfg.Delta = o.delta
@@ -135,6 +153,9 @@ func run(o options) error {
 	ocfg.Delta = o.delta
 	if o.window > 0 {
 		ocfg.WindowInstrs = o.window
+	}
+	if o.drift != 0 {
+		ocfg.Hybrid.Drift = o.drift
 	}
 	switch o.onlinePolicy {
 	case "greedy":
@@ -191,6 +212,9 @@ func run(o options) error {
 	if label == "dynamic" {
 		t.AddRow("online policy", ocfg.Policy.String())
 	}
+	if o.alt > 0 {
+		t.AddRow("workload", fmt.Sprintf("alt.x%d anchored fleet", o.alt))
+	}
 	t.AddRow("slots", fmt.Sprintf("%d", o.slots))
 	t.AddRow("duration", fmt.Sprintf("%.0fs", o.duration))
 	t.AddRow("jobs spawned", fmt.Sprintf("%d", len(res.Tasks)))
@@ -207,6 +231,10 @@ func run(o options) error {
 		t.AddRow("probe decisions", fmt.Sprintf("%d", res.Online.Decisions))
 		t.AddRow("monitor cycles", fmt.Sprintf("%d", res.Online.ChargedCycles))
 		t.AddRow("online switches", fmt.Sprintf("%d", res.Online.Switches))
+		if label == "hybrid" {
+			t.AddRow("decision refreshes", fmt.Sprintf("%d", res.Online.Refreshes))
+			t.AddRow("damped refreshes", fmt.Sprintf("%d", res.Online.Damped))
+		}
 	}
 	fmt.Print(t.String())
 	return nil

@@ -54,7 +54,13 @@ func run(verbose bool, dump string) error {
 		}
 	}
 
-	t := textplot.NewTable("benchmark", "phases", "alternations", "target(s)", "paper(s)", "instrs", "bytes")
+	// The rate column derives alternations per billion estimated dynamic
+	// instructions — the same unit as the breakdown experiment's rate axis
+	// (workload.BenchSpec.AltRate), so this table places each suite member
+	// against the misprediction-cost frontier directly.
+	cost := phasetune.DefaultCost()
+	machine := phasetune.QuadAMP()
+	t := textplot.NewTable("benchmark", "phases", "alternations", "rate/Binstr", "target(s)", "paper(s)", "instrs", "bytes")
 	for _, b := range suite {
 		phases := ""
 		for i, ph := range b.Spec.Phases() {
@@ -63,9 +69,14 @@ func run(verbose bool, dump string) error {
 			}
 			phases += ph.Kind.String()
 		}
+		rate := "-"
+		if r := b.Spec.AltRate(cost, machine); r > 0 {
+			rate = fmt.Sprintf("%.0f", r)
+		}
 		t.AddRow(b.Name(),
 			phases,
 			fmt.Sprintf("%d", b.Spec.Alternations),
+			rate,
 			fmt.Sprintf("%.1f", b.Spec.TargetSec),
 			fmt.Sprintf("%.0f", b.Spec.PaperRuntimeSec),
 			fmt.Sprintf("%d", b.Prog.NumInstrs()),

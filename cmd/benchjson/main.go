@@ -10,8 +10,14 @@
 //
 // -history renders the recorded trajectory instead of running benchmarks:
 // one ASCII series per benchmark name (ns/op over entries) plus a
-// last-vs-previous comparison table. It exits non-zero when any benchmark
-// regressed by more than -regression percent against the previous entry —
+// last-vs-previous comparison table. The history is shared with other
+// producers (internal/benchhist): `breakdown` entries appended by
+// `cmd/experiments -run breakdown -benchout` render as misprediction-cost
+// heatmaps after the timing series, and entries of kinds this build does
+// not know are called out by kind and count rather than silently skipped.
+// The regression gate compares the last two *timing* entries, so appending
+// a breakdown map never masks (or fakes) a benchmark regression. It exits
+// non-zero when any benchmark regressed by more than -regression percent —
 // CI wires it as a soft-fail step so the performance trajectory is
 // inspected on every push without blocking unrelated work.
 //
@@ -43,7 +49,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,39 +57,8 @@ import (
 	"time"
 
 	"phasetune"
+	"phasetune/internal/benchhist"
 	"phasetune/internal/textplot"
-)
-
-// Benchmark is one recorded measurement.
-type Benchmark struct {
-	Name    string             `json:"name"`
-	NsPerOp int64              `json:"ns_per_op"`
-	Reps    int                `json:"reps"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Entry is one benchjson invocation (the old phasetune-bench/v1 Report
-// plus a timestamp).
-type Entry struct {
-	Schema     string             `json:"schema,omitempty"`
-	Timestamp  string             `json:"timestamp,omitempty"`
-	GoVersion  string             `json:"go_version"`
-	MaxProcs   int                `json:"gomaxprocs"`
-	Shards     int                `json:"shards,omitempty"`
-	Benchmarks []Benchmark        `json:"benchmarks"`
-	Derived    map[string]float64 `json:"derived,omitempty"`
-}
-
-// History is the file format: one entry per invocation, oldest first.
-type History struct {
-	Schema  string  `json:"schema"`
-	Entries []Entry `json:"entries"`
-}
-
-// historySchema and legacySchema identify the two on-disk formats.
-const (
-	historySchema = "phasetune-bench-history/v1"
-	legacySchema  = "phasetune-bench/v1"
 )
 
 func main() {
@@ -106,19 +80,41 @@ func main() {
 	}
 }
 
-// runHistory renders the benchmark trajectory and gates on regressions:
-// every benchmark's ns/op is plotted over the recorded entries, and the
-// newest entry is compared against the one before it.
+// runHistory renders the recorded trajectory and gates on regressions:
+// every benchmark's ns/op is plotted over the timing entries, the latest
+// breakdown entry (if any) renders as heatmaps, and the newest timing
+// entry is compared against the one before it.
 func runHistory(path string, regressionPct float64) error {
-	hist := loadHistory(path)
+	hist := benchhist.Load(path)
 	if len(hist.Entries) == 0 {
 		return fmt.Errorf("%s holds no history entries", path)
 	}
 
+	// Partition by kind: timings chart as series, the latest breakdown
+	// charts as heatmaps, anything newer than this build is surfaced.
+	var timings []benchhist.Entry
+	var lastBreakdown *benchhist.Entry
+	unknown := map[string]int{}
+	for i := range hist.Entries {
+		e := hist.Entries[i]
+		switch e.Kind {
+		case benchhist.KindBench:
+			timings = append(timings, e)
+		case benchhist.KindBreakdown:
+			lastBreakdown = &hist.Entries[i]
+		default:
+			unknown[e.Kind]++
+		}
+	}
+	fmt.Printf("%s: %d entries (%d timing, oldest first)\n", path, len(hist.Entries), len(timings))
+	for kind, n := range unknown {
+		fmt.Printf("note: %d entries of kind %q recorded by a newer producer — not charted by this build\n", n, kind)
+	}
+
 	// Collect per-benchmark series in first-appearance order.
 	var names []string
-	series := map[string][]float64{} // parallel to entry indices; -1 marks absent
-	for _, e := range hist.Entries {
+	series := map[string][]float64{} // parallel to timing indices; -1 marks absent
+	for _, e := range timings {
 		for _, b := range e.Benchmarks {
 			if _, ok := series[b.Name]; !ok {
 				series[b.Name] = nil
@@ -127,7 +123,7 @@ func runHistory(path string, regressionPct float64) error {
 		}
 	}
 	for _, name := range names {
-		for _, e := range hist.Entries {
+		for _, e := range timings {
 			v := -1.0
 			for _, b := range e.Benchmarks {
 				if b.Name == name {
@@ -137,8 +133,6 @@ func runHistory(path string, regressionPct float64) error {
 			series[name] = append(series[name], v)
 		}
 	}
-
-	fmt.Printf("%s: %d entries (oldest first)\n", path, len(hist.Entries))
 	for _, name := range names {
 		var xs, ys []float64
 		for i, v := range series[name] {
@@ -154,11 +148,28 @@ func runHistory(path string, regressionPct float64) error {
 		fmt.Print(textplot.Series("entry", "ms/op", xs, ys, 40))
 	}
 
-	if len(hist.Entries) < 2 {
-		fmt.Println("\nonly one entry: nothing to compare")
+	if lastBreakdown != nil {
+		fmt.Printf("\nmisprediction-cost breakdown (recorded %s): dynamic−static tput delta (pp)\n",
+			lastBreakdown.Timestamp)
+		for _, bd := range lastBreakdown.Breakdown {
+			var cols []string
+			for _, w := range bd.WindowInstrs {
+				cols = append(cols, fmt.Sprintf("%d", w))
+			}
+			var rows []string
+			for _, a := range bd.Alternations {
+				rows = append(rows, fmt.Sprintf("alt.x%d", a))
+			}
+			fmt.Printf("\n%s\n", bd.Machine)
+			fmt.Print(textplot.Heatmap("rate\\win", rows, cols, bd.DeltaPct, bd.TolerancePct))
+		}
+	}
+
+	if len(timings) < 2 {
+		fmt.Println("\nfewer than two timing entries: nothing to compare")
 		return nil
 	}
-	prev, last := hist.Entries[len(hist.Entries)-2], hist.Entries[len(hist.Entries)-1]
+	prev, last := timings[len(timings)-2], timings[len(timings)-1]
 	prevNs := map[string]int64{}
 	for _, b := range prev.Benchmarks {
 		prevNs[b.Name] = b.NsPerOp
@@ -226,44 +237,13 @@ func gridSpecs() []phasetune.RunSpec {
 	return specs
 }
 
-// loadHistory reads the existing output file, absorbing a legacy
-// single-report file as the first entry. Unreadable or unrecognized
-// content starts a fresh history (the file is a derived artifact).
-func loadHistory(path string) History {
-	h := History{Schema: historySchema}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return h
-	}
-	var probe struct {
-		Schema string `json:"schema"`
-	}
-	if json.Unmarshal(data, &probe) != nil {
-		return h
-	}
-	switch probe.Schema {
-	case historySchema:
-		var old History
-		if json.Unmarshal(data, &old) == nil {
-			h.Entries = old.Entries
-		}
-	case legacySchema:
-		var legacy Entry
-		if json.Unmarshal(data, &legacy) == nil {
-			legacy.Schema = legacySchema
-			h.Entries = []Entry{legacy}
-		}
-	}
-	return h
-}
-
 func run(out string, reps, shards int) error {
 	suite, err := phasetune.Suite()
 	if err != nil {
 		return err
 	}
 	specs := gridSpecs()
-	entry := Entry{
+	entry := benchhist.Entry{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
@@ -288,7 +268,7 @@ func run(out string, reps, shards int) error {
 	if err != nil {
 		return err
 	}
-	entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+	entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 		Name: "grid_sequential", NsPerOp: seq.Nanoseconds(), Reps: reps,
 	})
 
@@ -301,7 +281,7 @@ func run(out string, reps, shards int) error {
 		return err
 	}
 	stats := sess.CacheStats()
-	entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+	entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 		Name: "grid_sweep", NsPerOp: swp.Nanoseconds(), Reps: reps,
 		Metrics: map[string]float64{
 			"pipeline_runs": float64(stats.Misses),
@@ -321,7 +301,7 @@ func run(out string, reps, shards int) error {
 		if err != nil {
 			return err
 		}
-		entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+		entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 			Name: "grid_sweep_sharded", NsPerOp: shd.Nanoseconds(), Reps: reps,
 			Metrics: map[string]float64{"shards": float64(shards)},
 		})
@@ -348,19 +328,14 @@ func run(out string, reps, shards int) error {
 		if err != nil {
 			return err
 		}
-		entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+		entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 			Name: bench.name, NsPerOp: d.Nanoseconds(), Reps: reps,
 		})
 	}
 
-	hist := loadHistory(out)
+	hist := benchhist.Load(out)
 	hist.Entries = append(hist.Entries, entry)
-	data, err := json.MarshalIndent(hist, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := benchhist.Save(out, hist); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (entry %d, %d benchmarks, sweep speedup %.2fx)\n",

@@ -4,9 +4,11 @@
 // Usage:
 //
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
-//	             switchcost|typing|threecore|showdown|window|ablations]
+//	             switchcost|typing|threecore|showdown|window|breakdown|
+//	             ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
 //	            [-workers N] [-shards N] [-cachestats]
+//	            [-alts a,b,c] [-windows a,b,c] [-benchout FILE]
 //
 // Each experiment prints a paper-style table plus the paper's reported
 // numbers where applicable. -quick shrinks workload sizes for a fast pass.
@@ -17,19 +19,36 @@
 // workers instead of the in-process pool — results are byte-identical, and
 // the same campaigns can be served to real worker processes with
 // cmd/sweepd.
+//
+// -run breakdown maps the misprediction cost of reactive detection: the
+// synthetic alternation-rate axis (-alts, alternation counts) against the
+// detector window sizes (-windows), rendered as a dynamic-vs-static delta
+// heatmap with the break-even frontier marked. -benchout appends the map
+// as a `breakdown` entry to the measurement history (BENCH_sweep.json),
+// where `benchjson -history` charts it alongside the timing trajectory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"phasetune/internal/benchhist"
 	"phasetune/internal/experiments"
 	"phasetune/internal/textplot"
 	"phasetune/internal/workload"
 )
+
+// breakdownOpts carries the breakdown map's flag-selected axes.
+var breakdownOpts struct {
+	alts    []int
+	windows []uint64
+	out     string
+}
 
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run")
@@ -40,6 +59,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "route sweeps through the distributed fabric with N local workers")
 	cachestats := flag.Bool("cachestats", false, "print artifact cache statistics at exit")
+	altsFlag := flag.String("alts", "", "breakdown: comma-separated alternation counts (default 4,16,64,256,1024,4096)")
+	windowsFlag := flag.String("windows", "", "breakdown: comma-separated window sizes in instructions (default 2000,4000,8000,16000,32000)")
+	benchout := flag.String("benchout", "", "breakdown: append the map to this measurement history (e.g. BENCH_sweep.json)")
 	flag.Parse()
 
 	cfg, err := experiments.Default()
@@ -68,6 +90,25 @@ func main() {
 		}
 		cfg.Seeds = seeds
 	}
+	if *altsFlag != "" {
+		for _, s := range strings.Split(*altsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad alternation count %q", s))
+			}
+			breakdownOpts.alts = append(breakdownOpts.alts, v)
+		}
+	}
+	if *windowsFlag != "" {
+		for _, s := range strings.Split(*windowsFlag, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil || v == 0 {
+				fatal(fmt.Errorf("bad window size %q", s))
+			}
+			breakdownOpts.windows = append(breakdownOpts.windows, v)
+		}
+	}
+	breakdownOpts.out = *benchout
 
 	all := *runFlag == "all"
 	ran := false
@@ -88,6 +129,7 @@ func main() {
 		{"threecore", threecore},
 		{"showdown", showdown},
 		{"window", window},
+		{"breakdown", breakdown},
 		{"ablations", ablations},
 	} {
 		if all || *runFlag == exp.name {
@@ -312,7 +354,7 @@ func showdown(cfg experiments.Config) error {
 		return err
 	}
 	t := textplot.NewTable("machine", "policy", "tput", "tput%", "avg-time%", "matched%",
-		"switches", "marks", "windows", "monitor%", "defers")
+		"switches", "marks", "windows", "monitor%", "refresh", "damped", "defers")
 	for _, r := range rows {
 		t.AddRow(r.Machine, r.Policy.String(),
 			fmt.Sprintf("%.4g", r.Throughput),
@@ -323,6 +365,8 @@ func showdown(cfg experiments.Config) error {
 			fmt.Sprintf("%.0f", r.MarksExecuted),
 			fmt.Sprintf("%.0f", r.MonitorWindows),
 			fmt.Sprintf("%.3f", r.MonitorPct),
+			fmt.Sprintf("%.0f", r.Refreshes),
+			fmt.Sprintf("%.0f", r.Damped),
 			fmt.Sprintf("%.0f", r.CounterDefers))
 	}
 	fmt.Print(t.String())
@@ -353,6 +397,106 @@ func window(cfg experiments.Config) error {
 	}
 	fmt.Print(t.String())
 	return nil
+}
+
+func breakdown(cfg experiments.Config) error {
+	header("Misprediction-cost breakdown map — alternation rate × window size (§V, quantitative)")
+	res, err := experiments.Breakdown(cfg, nil, breakdownOpts.alts, breakdownOpts.windows)
+	if err != nil {
+		return err
+	}
+
+	t := textplot.NewTable("machine", "alt", "rate/Binstr", "window", "static-ref", "static%", "dynamic%", "hybrid%", "oracle%", "delta", "dyn-switches")
+	for _, r := range res.Rows {
+		t.AddRow(r.Machine,
+			fmt.Sprintf("%d", r.Alternations),
+			fmt.Sprintf("%.0f", r.Rate),
+			fmt.Sprintf("%d", r.WindowInstrs),
+			r.StaticPolicy.String(),
+			fmt.Sprintf("%+.2f", r.StaticPct),
+			fmt.Sprintf("%+.2f", r.DynamicPct),
+			fmt.Sprintf("%+.2f", r.HybridPct),
+			fmt.Sprintf("%+.2f", r.OraclePct),
+			fmt.Sprintf("%+.2f", r.DeltaPct),
+			fmt.Sprintf("%.0f", r.DynSwitches))
+	}
+	fmt.Print(t.String())
+
+	// One heatmap per machine: rows = rates, cols = windows, cell =
+	// dynamic − static throughput delta in percentage points.
+	var colLabels []string
+	for _, w := range res.Windows {
+		colLabels = append(colLabels, fmt.Sprintf("%d", w))
+	}
+	var entries []benchhist.Breakdown
+	for _, machine := range machinesOf(res) {
+		bd := benchhist.Breakdown{Machine: machine, WindowInstrs: res.Windows,
+			TolerancePct: experiments.BreakdownTolerancePct}
+		var rowLabels []string
+		var grid [][]float64
+		for _, f := range res.Frontier {
+			if f.Machine != machine {
+				continue
+			}
+			bd.Alternations = append(bd.Alternations, f.Alternations)
+			bd.Rates = append(bd.Rates, f.Rate)
+			bd.BreakEvenWindow = append(bd.BreakEvenWindow, f.BreakEvenWindow)
+			rowLabels = append(rowLabels, fmt.Sprintf("alt.x%d", f.Alternations))
+			var row []float64
+			for _, r := range res.Rows {
+				if r.Machine == machine && r.Alternations == f.Alternations {
+					row = append(row, r.DeltaPct)
+				}
+			}
+			grid = append(grid, row)
+		}
+		bd.DeltaPct = grid
+		entries = append(entries, bd)
+
+		fmt.Printf("\n%s — dynamic−static tput delta (pp) by (alternation rate × window)\n", machine)
+		fmt.Print(textplot.Heatmap("rate\\win", rowLabels, colLabels, grid, experiments.BreakdownTolerancePct))
+		ft := textplot.NewTable("rate", "alternations", "break-even window")
+		for _, f := range res.Frontier {
+			if f.Machine != machine {
+				continue
+			}
+			be := "none (dynamic loses at every window)"
+			if f.BreakEvenWindow > 0 {
+				be = fmt.Sprintf("%d", f.BreakEvenWindow)
+			}
+			ft.AddRow(fmt.Sprintf("%.0f", f.Rate), fmt.Sprintf("%d", f.Alternations), be)
+		}
+		fmt.Print(ft.String())
+	}
+
+	if breakdownOpts.out != "" {
+		err := benchhist.Append(breakdownOpts.out, benchhist.Entry{
+			Kind:      benchhist.KindBreakdown,
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			MaxProcs:  runtime.GOMAXPROCS(0),
+			Breakdown: entries,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nappended breakdown entry to %s\n", breakdownOpts.out)
+	}
+	return nil
+}
+
+// machinesOf lists the machines of a breakdown result in first-appearance
+// order.
+func machinesOf(res *experiments.BreakdownResult) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		if !seen[r.Machine] {
+			seen[r.Machine] = true
+			out = append(out, r.Machine)
+		}
+	}
+	return out
 }
 
 func ablations(cfg experiments.Config) error {

@@ -7,7 +7,7 @@
 // Coordinator:
 //
 //	sweepd -coordinator [-addr 127.0.0.1:7077]
-//	       [-campaign showdown|grid|window] [-machine quad|tri|hex]
+//	       [-campaign showdown|grid|window|breakdown] [-machine quad|tri|hex]
 //	       [-quick] [-slots N] [-duration SEC] [-seeds a,b,c]
 //	       [-chunk N] [-lease-ttl 30s] [-spawn N] [-verify] [-out FILE]
 //
@@ -53,7 +53,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7077", "coordinator listen address")
 		connect     = flag.String("connect", "", "coordinator URL (worker mode)")
 		name        = flag.String("name", "", "worker label")
-		campaign    = flag.String("campaign", "showdown", "campaign to serve: showdown|grid|window")
+		campaign    = flag.String("campaign", "showdown", "campaign to serve: showdown|grid|window|breakdown")
 		machineFlag = flag.String("machine", "quad", "showdown machine: quad|tri|hex")
 		quick       = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		slots       = flag.Int("slots", 0, "workload slots (0 = default)")
@@ -129,28 +129,40 @@ func config(o coordOpts) (experiments.Config, error) {
 	return cfg, nil
 }
 
+// parseMachine resolves the -machine flag.
+func parseMachine(name string) (*amp.Machine, error) {
+	switch name {
+	case "quad":
+		return amp.Quad2Fast2Slow(), nil
+	case "tri":
+		return amp.ThreeCore2Fast1Slow(), nil
+	case "hex":
+		return amp.Hex2Big2Medium2Little(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want quad|tri|hex)", name)
+}
+
 // buildCampaign cuts the selected campaign from the configuration.
 func buildCampaign(o coordOpts, cfg experiments.Config) (dist.Campaign, error) {
 	switch o.campaign {
 	case "showdown":
-		var m *amp.Machine
-		switch o.machine {
-		case "quad":
-			m = amp.Quad2Fast2Slow()
-		case "tri":
-			m = amp.ThreeCore2Fast1Slow()
-		case "hex":
-			m = amp.Hex2Big2Medium2Little()
-		default:
-			return dist.Campaign{}, fmt.Errorf("unknown machine %q (want quad|tri|hex)", o.machine)
+		m, err := parseMachine(o.machine)
+		if err != nil {
+			return dist.Campaign{}, err
 		}
 		return experiments.ShowdownCampaign(cfg, m), nil
 	case "grid":
 		return experiments.TechniqueCampaign(cfg), nil
 	case "window":
 		return experiments.WindowCampaign(cfg, nil, nil), nil
+	case "breakdown":
+		m, err := parseMachine(o.machine)
+		if err != nil {
+			return dist.Campaign{}, err
+		}
+		return experiments.BreakdownCampaign(cfg, m, nil, nil), nil
 	}
-	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window)", o.campaign)
+	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window|breakdown)", o.campaign)
 }
 
 func runCoordinator(o coordOpts) error {
@@ -248,7 +260,11 @@ func verifyAgainstSequential(camp dist.Campaign, raws []json.RawMessage) error {
 	}
 	cache := sim.NewImageCache()
 	for i, sp := range camp.Specs {
-		res, err := sim.Run(camp.Env.RunConfig(sp, suite, cache))
+		cfg, err := camp.Env.RunConfig(sp, suite, cache)
+		if err != nil {
+			return fmt.Errorf("verify spec %d: %w", i, err)
+		}
+		res, err := sim.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("verify spec %d: %w", i, err)
 		}

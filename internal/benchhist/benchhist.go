@@ -1,0 +1,130 @@
+// Package benchhist is the schema and I/O for the repository's
+// machine-readable measurement history (BENCH_sweep.json). The file is an
+// append-only log: every producer — cmd/benchjson's benchmark timings,
+// cmd/experiments' breakdown-map summaries — appends one typed entry per
+// invocation, and cmd/benchjson -history renders the accumulated
+// trajectory. Keeping the schema here, instead of private to one command,
+// is what lets several producers share one history without drifting.
+package benchhist
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Schema identifiers of the on-disk formats.
+const (
+	// HistorySchema identifies the append-only history file.
+	HistorySchema = "phasetune-bench-history/v1"
+	// LegacySchema identifies the pre-history single-report file, absorbed
+	// as the first entry on load.
+	LegacySchema = "phasetune-bench/v1"
+)
+
+// Entry kinds. An empty Kind means benchmark timings (the original entry
+// form, kept unnamed for backward compatibility with recorded histories).
+const (
+	// KindBench marks a benchmark-timing entry ("" on the wire).
+	KindBench = ""
+	// KindBreakdown marks a misprediction-cost breakdown-map entry.
+	KindBreakdown = "breakdown"
+)
+
+// Benchmark is one recorded timing measurement.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Reps    int                `json:"reps"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Breakdown is one machine's misprediction-cost map summary: the
+// dynamic-vs-static throughput delta over the (alternation rate × window)
+// grid plus the break-even frontier (experiments.Breakdown).
+type Breakdown struct {
+	// Machine is the machine name.
+	Machine string `json:"machine"`
+	// Alternations and Rates are the rate axis (per billion instructions).
+	Alternations []int     `json:"alternations"`
+	Rates        []float64 `json:"rates_per_b_instr"`
+	// WindowInstrs is the window axis.
+	WindowInstrs []uint64 `json:"window_instrs"`
+	// DeltaPct is dynamic−static throughput delta in percentage points,
+	// indexed [rate][window].
+	DeltaPct [][]float64 `json:"delta_pct"`
+	// BreakEvenWindow is, per rate, the largest window where dynamic still
+	// held within the tolerance (0 = dynamic fell past it everywhere).
+	BreakEvenWindow []uint64 `json:"break_even_window"`
+	// TolerancePct is the break-even tolerance the frontier was cut with,
+	// in throughput percentage points.
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+}
+
+// Entry is one producer invocation.
+type Entry struct {
+	Schema string `json:"schema,omitempty"`
+	// Kind discriminates the payload: "" = benchmark timings (Benchmarks,
+	// Derived), "breakdown" = breakdown maps (Breakdown). Consumers must
+	// treat unknown kinds as data to be surfaced, not silently dropped.
+	Kind       string             `json:"kind,omitempty"`
+	Timestamp  string             `json:"timestamp,omitempty"`
+	GoVersion  string             `json:"go_version,omitempty"`
+	MaxProcs   int                `json:"gomaxprocs,omitempty"`
+	Shards     int                `json:"shards,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks,omitempty"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+	Breakdown  []Breakdown        `json:"breakdown,omitempty"`
+}
+
+// History is the file format: one entry per invocation, oldest first.
+type History struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// Load reads a history file, absorbing a legacy single-report file as the
+// first entry. Unreadable or unrecognized content starts a fresh history —
+// the file is a derived artifact, never a source of truth.
+func Load(path string) History {
+	h := History{Schema: HistorySchema}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return h
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return h
+	}
+	switch probe.Schema {
+	case HistorySchema:
+		var old History
+		if json.Unmarshal(data, &old) == nil {
+			h.Entries = old.Entries
+		}
+	case LegacySchema:
+		var legacy Entry
+		if json.Unmarshal(data, &legacy) == nil {
+			legacy.Schema = LegacySchema
+			h.Entries = []Entry{legacy}
+		}
+	}
+	return h
+}
+
+// Append loads path, appends the entry, and writes the history back.
+func Append(path string, e Entry) error {
+	h := Load(path)
+	h.Entries = append(h.Entries, e)
+	return Save(path, h)
+}
+
+// Save writes the history to path.
+func Save(path string, h History) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,74 @@
+package benchhist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendRoundTripsMixedKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := Append(path, Entry{
+		GoVersion:  "go-test",
+		Benchmarks: []Benchmark{{Name: "grid", NsPerOp: 123, Reps: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, Entry{
+		Kind: KindBreakdown,
+		Breakdown: []Breakdown{{
+			Machine:         "quad-2f2s",
+			Alternations:    []int{4, 4096},
+			Rates:           []float64{100, 102400},
+			WindowInstrs:    []uint64{2000, 32000},
+			DeltaPct:        [][]float64{{1, 0.5}, {-3, -8}},
+			BreakEvenWindow: []uint64{32000, 0},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := Load(path)
+	if h.Schema != HistorySchema || len(h.Entries) != 2 {
+		t.Fatalf("loaded %d entries under schema %q", len(h.Entries), h.Schema)
+	}
+	if h.Entries[0].Kind != KindBench || len(h.Entries[0].Benchmarks) != 1 {
+		t.Errorf("timing entry mangled: %+v", h.Entries[0])
+	}
+	bd := h.Entries[1]
+	if bd.Kind != KindBreakdown || len(bd.Breakdown) != 1 {
+		t.Fatalf("breakdown entry mangled: %+v", bd)
+	}
+	if bd.Breakdown[0].DeltaPct[1][1] != -8 || bd.Breakdown[0].BreakEvenWindow[0] != 32000 {
+		t.Errorf("breakdown payload mangled: %+v", bd.Breakdown[0])
+	}
+}
+
+func TestLoadAbsorbsLegacyReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	legacy := `{"schema":"phasetune-bench/v1","go_version":"go-old","gomaxprocs":1,` +
+		`"benchmarks":[{"name":"grid_sequential","ns_per_op":42,"reps":3}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := Load(path)
+	if len(h.Entries) != 1 || h.Entries[0].Schema != LegacySchema {
+		t.Fatalf("legacy report not absorbed: %+v", h)
+	}
+	if h.Entries[0].Benchmarks[0].NsPerOp != 42 {
+		t.Errorf("legacy benchmark lost")
+	}
+}
+
+func TestLoadMissingOrGarbageStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if h := Load(filepath.Join(dir, "absent.json")); len(h.Entries) != 0 {
+		t.Errorf("missing file produced entries")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if h := Load(bad); len(h.Entries) != 0 {
+		t.Errorf("garbage file produced entries")
+	}
+}

@@ -22,8 +22,10 @@ import (
 )
 
 // testCampaign is a small but representative grid: baseline, static-tuned,
-// dynamic, hybrid, and oracle cells across two seeds on the quad AMP, with
-// tiny workloads so the whole suite stays fast.
+// dynamic, hybrid, and oracle cells across two seeds on the quad AMP —
+// plus one alternation-axis cell and one drift-damped hybrid cell, so the
+// v3 wire fields cross the fabric in every determinism test — with tiny
+// workloads so the whole suite stays fast.
 func testCampaign() Campaign {
 	env := EnvSpec{
 		Version: SpecVersion,
@@ -45,6 +47,14 @@ func testCampaign() Campaign {
 			Spec{Queues: q, DurationSec: 2, Mode: sim.Oracle, Params: loop45, Tuning: tcfg, Seed: seed},
 		)
 	}
+	damped := online.DefaultConfig()
+	damped.Hybrid.Drift = online.DefaultDrift
+	altQ := workload.Spec{Slots: 2, QueueLen: 2, Seed: 1, Alternations: 64}
+	specs = append(specs,
+		Spec{Queues: altQ, DurationSec: 2, Mode: sim.Dynamic, Tuning: tcfg, Online: online.DefaultConfig(), Seed: 1},
+		Spec{Queues: workload.Spec{Slots: 2, QueueLen: 2, Seed: 1}, DurationSec: 2,
+			Mode: sim.Hybrid, Params: loop45, Tuning: tcfg, Online: damped, Seed: 1},
+	)
 	return Campaign{Env: env, Specs: specs}
 }
 
@@ -60,7 +70,11 @@ func sequentialRaw(t testing.TB, camp Campaign) []json.RawMessage {
 	cache := sim.NewImageCache()
 	out := make([]json.RawMessage, len(camp.Specs))
 	for i, sp := range camp.Specs {
-		res, err := sim.RunContext(context.Background(), camp.Env.RunConfig(sp, suite, cache))
+		cfg, err := camp.Env.RunConfig(sp, suite, cache)
+		if err != nil {
+			t.Fatalf("sequential spec %d: %v", i, err)
+		}
+		res, err := sim.RunContext(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("sequential spec %d: %v", i, err)
 		}
@@ -248,7 +262,11 @@ func runSpecRaw(t *testing.T, camp Campaign, idx int) json.RawMessage {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.RunContext(context.Background(), camp.Env.RunConfig(camp.Specs[idx], suite, sim.NewImageCache()))
+	cfg, err := camp.Env.RunConfig(camp.Specs[idx], suite, sim.NewImageCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,12 +10,14 @@
 // model, scheduler, typing — EnvSpec) plus one wire Spec per run (workload
 // construction parameters, mode, technique, tuning, online config, seed).
 // A worker rebuilds the benchmark suite from the environment — suite
-// generation is deterministic in (cost, machine) — executes its leased
-// specs, and commits each result in a canonical encoding. Merging is then
-// trivially deterministic: results are keyed by spec index, and any two
-// successful executions of the same index commit identical bytes, so the
-// coordinator can accept the first commit and reject duplicates without
-// ever comparing payloads.
+// generation is deterministic in (cost, machine), and the synthetic
+// alternation-rate workloads of the breakdown map regenerate the same way
+// (workload.Spec.Materialize) — executes its leased specs, and commits
+// each result in a canonical encoding. Merging is then trivially
+// deterministic: results are keyed by spec index, and any two successful
+// executions of the same index commit identical bytes, so the coordinator
+// can accept the first commit and reject duplicates without ever comparing
+// payloads.
 //
 // The failure model is crash-stop workers with at-most-once commit per
 // spec index: leases expire when a worker stops heartbeating, expired
@@ -51,8 +53,11 @@ import (
 // so the version is bumped whenever the wire form or run semantics change
 // and checked at registration — a stale worker fails fast instead of
 // committing divergent bytes. History: v1 was the PR-3 format (no
-// placement engine); v2 added Spec.Placement and the hybrid mode.
-const SpecVersion = 2
+// placement engine); v2 added Spec.Placement and the hybrid mode; v3 added
+// the alternation-rate workload axis (workload.Spec.Alternations) and the
+// hybrid's drift-damping knob (online.HybridConfig.Drift), both of which
+// change run results and result encodings (online.Stats.Damped).
+const SpecVersion = 3
 
 // EnvSpec is the serialized session environment: everything a worker needs
 // to rebuild the simulation stack that is shared by every run of a
@@ -98,7 +103,10 @@ func (e *EnvSpec) Suite() ([]*workload.Benchmark, error) {
 // caches, hooks). The workload travels as its construction parameters
 // (workload.Spec); together with an EnvSpec it lowers to a RunConfig.
 type Spec struct {
-	// Queues describes the workload by construction.
+	// Queues describes the workload by construction — a suite draw, or,
+	// when Queues.Alternations > 0, the synthetic alternation-rate axis
+	// (the worker regenerates the alternator from the environment's cost
+	// model and machine exactly as it regenerates the suite).
 	Queues workload.Spec `json:"queues"`
 	// DurationSec is the run length in simulated seconds.
 	DurationSec float64 `json:"duration_sec"`
@@ -122,13 +130,19 @@ type Spec struct {
 // RunConfig lowers a wire spec onto the environment. The machine, cost,
 // and scheduler are copied so the returned config is self-contained; suite
 // must be the environment's suite (EnvSpec.Suite or an equal generation).
-func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.ImageCache) sim.RunConfig {
+// Alternation-axis specs regenerate their workload from (cost, machine)
+// instead of the suite, which is the only path that can fail.
+func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.ImageCache) (sim.RunConfig, error) {
 	m := e.Machine
 	cost := e.Cost
 	sched := e.Sched
+	w, err := sp.Queues.Materialize(suite, cost, &m)
+	if err != nil {
+		return sim.RunConfig{}, fmt.Errorf("dist: materialize workload: %w", err)
+	}
 	return sim.RunConfig{
 		Machine: &m, Cost: &cost, Sched: &sched,
-		Workload:    sp.Queues.Build(suite),
+		Workload:    w,
 		DurationSec: sp.DurationSec,
 		Mode:        sp.Mode,
 		Params:      sp.Params,
@@ -139,7 +153,7 @@ func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.Imag
 		TypingError: sp.TypingError,
 		Seed:        sp.Seed,
 		Cache:       cache,
-	}
+	}, nil
 }
 
 // Campaign is a complete distributable sweep: one environment plus the run

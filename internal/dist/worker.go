@@ -97,8 +97,11 @@ func (w *Worker) runLease(ctx context.Context, reg *RegisterReply, suite []*work
 	cache *sim.ImageCache, lr *LeaseReply, runs *int) error {
 
 	for k, idx := range lr.Indices {
-		cfg := reg.Env.RunConfig(lr.Specs[k], suite, cache)
-		res, rerr := sim.RunContext(ctx, cfg)
+		cfg, rerr := reg.Env.RunConfig(lr.Specs[k], suite, cache)
+		var res *sim.Result
+		if rerr == nil {
+			res, rerr = sim.RunContext(ctx, cfg)
+		}
 		if rerr != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()

@@ -135,7 +135,11 @@ func (c *Config) sweep(grid []dist.Spec) ([]*sim.Result, error) {
 	env := c.Env()
 	cfgs := make([]sim.RunConfig, len(grid))
 	for i := range grid {
-		cfgs[i] = env.RunConfig(grid[i], c.Suite, nil)
+		cfg, err := env.RunConfig(grid[i], c.Suite, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
 	}
 	return sim.Sweep(context.Background(), cfgs, sim.SweepOptions{
 		Workers: c.Workers,

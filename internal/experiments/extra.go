@@ -211,7 +211,7 @@ func ThreeCore(cfg Config) (ThreeCoreResult, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablations (DESIGN.md §5).
+// Ablations (DESIGN.md §5, "Experiment drivers").
 
 // AblationRow is a generic named comparison row.
 type AblationRow struct {

@@ -42,6 +42,11 @@ const (
 	// ShowdownHybrid is the marks+windows hybrid: mark boundaries, window-
 	// refreshed IPC estimates, shared-engine arbitration.
 	ShowdownHybrid
+	// ShowdownHybridDamped is the hybrid with re-decision drift damping
+	// (online.HybridConfig.Drift at online.DefaultDrift): refreshed
+	// estimates re-enter Algorithm 2 only when the per-phase means moved
+	// more than ε — the switch-volume-vs-throughput trade as a column.
+	ShowdownHybridDamped
 	// ShowdownOracle is perfect-knowledge placement (upper bound).
 	ShowdownOracle
 )
@@ -61,6 +66,8 @@ func (p ShowdownPolicy) String() string {
 		return "dynamic/probe"
 	case ShowdownHybrid:
 		return "hybrid"
+	case ShowdownHybridDamped:
+		return "hybrid/damped"
 	case ShowdownOracle:
 		return "oracle"
 	}
@@ -71,7 +78,8 @@ func (p ShowdownPolicy) String() string {
 func ShowdownPolicies() []ShowdownPolicy {
 	return []ShowdownPolicy{
 		ShowdownNone, ShowdownStatic, ShowdownStaticSpill,
-		ShowdownDynamicGreedy, ShowdownDynamicProbe, ShowdownHybrid, ShowdownOracle,
+		ShowdownDynamicGreedy, ShowdownDynamicProbe,
+		ShowdownHybrid, ShowdownHybridDamped, ShowdownOracle,
 	}
 }
 
@@ -103,6 +111,11 @@ type ShowdownRow struct {
 	MonitorPct     float64
 	// OnlineSwitches is the mean number of detector-requested reassignments.
 	OnlineSwitches float64
+	// Refreshes and Damped report the hybrid's re-decision traffic: mean
+	// post-fix Algorithm 2 re-entries, and mean re-entries suppressed by the
+	// drift threshold (hybrid/damped column only).
+	Refreshes float64
+	Damped    float64
 	// CounterDefers is the mean number of monitoring requests that found no
 	// free counter event set.
 	CounterDefers float64
@@ -135,6 +148,11 @@ func showdownRunCfg(cfg Config, p ShowdownPolicy, seed uint64) dist.Spec {
 		mode, params = sim.Hybrid, BestParams()
 		ocfg = online.DefaultConfig()
 		ocfg.Delta = cfg.Tuning.Delta
+	case ShowdownHybridDamped:
+		mode, params = sim.Hybrid, BestParams()
+		ocfg = online.DefaultConfig()
+		ocfg.Delta = cfg.Tuning.Delta
+		ocfg.Hybrid.Drift = online.DefaultDrift
 	case ShowdownOracle:
 		mode, params = sim.Oracle, BestParams()
 	}
@@ -226,6 +244,8 @@ func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 					row.MonitorWindows += float64(res.Online.Windows)
 					row.MonitorCycles += float64(res.Online.ChargedCycles)
 					row.OnlineSwitches += float64(res.Online.Switches)
+					row.Refreshes += float64(res.Online.Refreshes)
+					row.Damped += float64(res.Online.Damped)
 					if cycles > 0 {
 						row.MonitorPct += 100 * float64(res.Online.ChargedCycles) / float64(cycles)
 					}
@@ -242,6 +262,8 @@ func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 			row.MonitorCycles /= n
 			row.MonitorPct /= n
 			row.OnlineSwitches /= n
+			row.Refreshes /= n
+			row.Damped /= n
 			row.CounterDefers /= n
 			rows = append(rows, row)
 		}

@@ -76,8 +76,8 @@ const minBoundaryInstrs = 200
 // NewHybrid builds the hybrid runtime for one kernel. The hardware pool
 // should be the kernel's own so counter contention stays modeled; pcfg
 // parameterizes the shared engine's capacity arbitration. Of cfg, the
-// hybrid consumes WindowInstrs, TickSec, SampleCycles, Delta, and
-// ProbeWindows; the classification knobs are unused (marks classify).
+// hybrid consumes WindowInstrs, TickSec, SampleCycles, Delta, ProbeWindows,
+// and Hybrid.Drift; the classification knobs are unused (marks classify).
 func NewHybrid(cfg Config, pcfg place.Config, machine *amp.Machine, hw *perfcnt.Hardware) *Hybrid {
 	cfg = cfg.Normalized()
 	return &Hybrid{
@@ -230,7 +230,12 @@ func (m *Hybrid) closeWindow(st *hybridState, coreID int, atTick bool) {
 
 // record adds one accepted sample and refreshes the phase's decision: the
 // first time every core type is covered the decision is founded; later
-// windows keep the estimate current and re-decide from the new means.
+// windows keep the estimate current and re-decide from the new means —
+// unless drift damping (HybridConfig.Drift) is on and the means have moved
+// at most ε since the standing decision, in which case the sample only
+// sharpens the estimate and the decision (and its arbitration claim)
+// stands untouched. With ε = 0 the damping branch never fires, so the
+// undamped hybrid is reproduced bit for bit.
 func (m *Hybrid) record(st *hybridState, pt phase.Type, ct amp.CoreTypeID, ipc float64) {
 	key := int(pt)
 	st.table.Add(key, ct, ipc)
@@ -239,6 +244,14 @@ func (m *Hybrid) record(st *hybridState, pt phase.Type, ct amp.CoreTypeID, ipc f
 		return
 	}
 	first := st.table.DecisionOf(key) == nil
+	if !first && m.cfg.Hybrid.Drift > 0 && st.table.Drift(key) <= m.cfg.Hybrid.Drift {
+		m.stats.Damped++
+		if st.cur == pt {
+			st.probing = false
+			m.engine.Enter(st.pid, *st.table.DecisionOf(key))
+		}
+		return
+	}
 	dec := m.engine.Decide(st.table.Means(key))
 	st.table.SetDecision(key, dec)
 	if first {

@@ -1,6 +1,8 @@
 package online_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"phasetune/internal/amp"
@@ -150,8 +152,81 @@ func TestHybridConvergesToAlgorithm2(t *testing.T) {
 // TestHybridStatsSerializeOnWire guards the dist contract: hybrid stats
 // round-trip through the canonical result encoding.
 func TestHybridStatsSerializeOnWire(t *testing.T) {
-	st := online.Stats{Windows: 3, Decisions: 2, Refreshes: 5, Switches: 1}
-	if st.Refreshes != 5 {
-		t.Fatal("refreshes field lost")
+	st := online.Stats{Windows: 3, Decisions: 2, Refreshes: 5, Switches: 1, Damped: 4}
+	if st.Refreshes != 5 || st.Damped != 4 {
+		t.Fatal("stats fields lost")
+	}
+}
+
+// hybridRun executes the alternating-program hybrid workload under one
+// online config and returns the result.
+func hybridRun(t *testing.T, ocfg online.Config) *sim.Result {
+	t.Helper()
+	machine := amp.Quad2Fast2Slow()
+	cm := exec.DefaultCostModel()
+	p := alternatingProgram(t, "alt", 220)
+	bench := &workload.Benchmark{Spec: workload.BenchSpec{Name: "alt"}, Prog: p}
+	res, err := sim.Run(sim.RunConfig{
+		Machine: machine, Cost: &cm,
+		Workload:    &workload.Workload{Slots: [][]*workload.Benchmark{{bench}, {bench}}},
+		DurationSec: 60, Mode: sim.Hybrid, Seed: 3, Online: ocfg,
+		Params: transition.Params{Technique: transition.BasicBlock, MinSize: 15, PropagateThroughUntyped: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHybridDriftZeroIsUndamped pins the ε = 0 contract: a config that
+// spells out Drift 0 runs byte-for-byte like one that never mentions the
+// damping knob — the pre-damping hybrid is reproduced exactly, and the
+// damping counter never moves.
+func TestHybridDriftZeroIsUndamped(t *testing.T) {
+	plain := hybridRun(t, online.Config{})
+	explicit := online.Config{}
+	explicit.Hybrid.Drift = 0
+	zero := hybridRun(t, explicit)
+
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("explicit Drift 0 result differs from the undamped hybrid")
+	}
+	if plain.Online.Damped != 0 || zero.Online.Damped != 0 {
+		t.Errorf("ε = 0 runs damped %d/%d re-decisions, want 0",
+			plain.Online.Damped, zero.Online.Damped)
+	}
+}
+
+// TestHybridDriftDampsRefreshes pins the damping mechanics: with ε > 0 the
+// same workload accepts the same windows but suppresses re-decisions whose
+// means barely moved — Refreshes strictly drops, the suppressed count
+// shows up in Damped, and total re-decision traffic is conserved.
+func TestHybridDriftDampsRefreshes(t *testing.T) {
+	undamped := hybridRun(t, online.Config{})
+	if undamped.Online.Refreshes == 0 {
+		t.Fatal("undamped hybrid never refreshed — the workload cannot exercise damping")
+	}
+	dcfg := online.Config{}
+	dcfg.Hybrid.Drift = online.DefaultDrift
+	damped := hybridRun(t, dcfg)
+
+	if damped.Online.Damped == 0 {
+		t.Error("ε > 0 suppressed no re-decisions")
+	}
+	if damped.Online.Refreshes >= undamped.Online.Refreshes {
+		t.Errorf("damped refreshes %d not below undamped %d",
+			damped.Online.Refreshes, undamped.Online.Refreshes)
+	}
+	if damped.Online.Switches > undamped.Online.Switches {
+		t.Errorf("damping increased switches: %d > %d",
+			damped.Online.Switches, undamped.Online.Switches)
 	}
 }

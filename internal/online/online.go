@@ -27,7 +27,15 @@
 // the kernel-side SetAffinity — every cost the paper attributes to dynamic
 // detection is simulated, which is what makes the static-vs-dynamic
 // showdown (internal/experiments.Showdown) a fair reproduction of the
-// paper's headline claim.
+// paper's headline claim. Where dynamic detection breaks — the
+// alternation-rate × window-size plane mapped quantitatively — is the
+// misprediction-cost breakdown (internal/experiments.Breakdown).
+//
+// The package also houses the two mark-aware runtimes that bracket the
+// detector: Hybrid (marks give phase boundaries, windows keep refreshing
+// the per-phase IPC estimates; HybridConfig.Drift damps its re-decisions
+// to estimate movements above an ε threshold) and the perfect-knowledge
+// oracle hook (OracleAssignments), the showdown's upper bound.
 package online
 
 import (
@@ -98,7 +106,31 @@ type Config struct {
 	// IPCSmoothing is the EWMA weight of the newest window in the greedy
 	// policy's per-task IPC estimate, in (0, 1].
 	IPCSmoothing float64
+	// Hybrid holds the knobs only the marks+windows hybrid runtime reads;
+	// the window detector ignores them.
+	Hybrid HybridConfig
 }
+
+// HybridConfig parameterizes the marks+windows hybrid runtime beyond the
+// shared detector knobs.
+type HybridConfig struct {
+	// Drift is the re-decision damping threshold ε: once a phase's
+	// placement is fixed, later windows refresh its per-(phase, core-type)
+	// IPC means, but the hybrid re-enters the engine's Decide only when the
+	// means have moved more than this relative fraction since the decision
+	// (place.Table.Drift). Zero — the default — re-decides on every
+	// accepted window, reproducing the undamped hybrid exactly;
+	// DefaultDrift is the measured knee of the switch-volume-vs-throughput
+	// trade (the showdown's hybrid/damped column).
+	Drift float64 `json:"drift,omitempty"`
+}
+
+// DefaultDrift is the damped hybrid's operating point: 5% relative
+// movement of a phase's IPC means before its placement is re-decided —
+// comfortably above per-window sampling noise (branch-variant mix, mark
+// payloads; cf. place's 3% tie epsilon) yet far below the tens-of-percent
+// shifts a real behavior change produces.
+const DefaultDrift = 0.05
 
 // DefaultConfig returns the operating point used by the showdown
 // experiments: 0.1 s ticks (one scheduler timeslice), windows of 8000
@@ -149,6 +181,9 @@ func (c Config) Normalized() Config {
 	if c.IPCSmoothing <= 0 || c.IPCSmoothing > 1 {
 		c.IPCSmoothing = d.IPCSmoothing
 	}
+	if c.Hybrid.Drift < 0 {
+		c.Hybrid.Drift = 0
+	}
 	return c
 }
 
@@ -183,6 +218,11 @@ type Stats struct {
 	// monitor windows keep updating the per-phase IPC estimates, and each
 	// refreshed estimate re-runs Algorithm 2 over current evidence.
 	Refreshes int
+	// Damped counts hybrid re-decisions suppressed by the drift threshold
+	// (HybridConfig.Drift): the window was accepted and the estimate
+	// updated, but the means had moved ≤ ε since the standing decision, so
+	// Algorithm 2 was not re-entered. Always 0 when Drift is 0.
+	Damped int
 }
 
 // ipcStat is a running per-core-type IPC mean.

@@ -24,6 +24,13 @@
 // tables through any consumer therefore produces identical placements — the
 // property internal/place/place_test.go pins down.
 //
+// Table is the shared per-phase decision table behind the consumers'
+// estimates: running per-(phase, core-type) IPC means plus the fixed
+// Decision. It snapshots the means each decision was fixed from, and
+// Table.Drift prices how far later samples have moved them — the signal
+// the hybrid's re-decision damping (online.HybridConfig.Drift) thresholds
+// so estimate jitter refreshes data without re-entering Decide.
+//
 // The package is pure decision math over an amp.Machine: it has no
 // dependency on the simulator, scheduler, or counter layers, which is what
 // lets both mark hooks and kernel monitors share one Engine instance.

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"math"
 	"testing"
 
 	"phasetune/internal/amp"
@@ -266,4 +267,37 @@ func TestEngineClaimLifecycle(t *testing.T) {
 // TestEngineImplementsPlacer pins the interface contract at compile time.
 func TestEngineImplementsPlacer(t *testing.T) {
 	var _ Placer = NewEngine(quad(), 0.06, Config{})
+}
+
+// TestTableDriftTracksDecisionBaseline pins the drift metric the hybrid's
+// re-decision damping reads: undecided phases report infinite drift, a
+// fresh decision snapshots the means (drift 0), and later samples move the
+// drift by the relative change of the worst core type.
+func TestTableDriftTracksDecisionBaseline(t *testing.T) {
+	tbl := NewTable(2)
+	if !math.IsInf(tbl.Drift(0), 1) {
+		t.Fatalf("undecided drift = %g, want +Inf", tbl.Drift(0))
+	}
+	tbl.Add(0, 0, 1.0)
+	tbl.Add(0, 1, 0.5)
+	tbl.SetDecision(0, Decision{Choice: 0, Rates: []float64{1, 1}})
+	if d := tbl.Drift(0); d != 0 {
+		t.Fatalf("drift right after decision = %g, want 0", d)
+	}
+	// A second identical sample leaves the means unchanged.
+	tbl.Add(0, 0, 1.0)
+	if d := tbl.Drift(0); d != 0 {
+		t.Fatalf("drift after identical sample = %g, want 0", d)
+	}
+	// A diverging sample on type 1 moves its mean 0.5 -> 0.75: relative
+	// drift 0.25/0.75 = 1/3 against the larger value.
+	tbl.Add(0, 1, 1.0)
+	if d := tbl.Drift(0); math.Abs(d-1.0/3) > 1e-12 {
+		t.Fatalf("drift after diverging sample = %g, want 1/3", d)
+	}
+	// Re-fixing the decision resets the baseline.
+	tbl.SetDecision(0, Decision{Choice: 0, Rates: []float64{1, 1}})
+	if d := tbl.Drift(0); d != 0 {
+		t.Fatalf("drift after refreshed decision = %g, want 0", d)
+	}
 }

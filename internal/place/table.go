@@ -1,6 +1,10 @@
 package place
 
-import "phasetune/internal/amp"
+import (
+	"math"
+
+	"phasetune/internal/amp"
+)
 
 // Table is the per-phase decision table every placement consumer
 // accumulates into: running per-(phase, core-type) IPC means plus the fixed
@@ -17,6 +21,9 @@ type tableRow struct {
 	sum []float64
 	n   []int
 	dec *Decision
+	// decMeans snapshots the per-type IPC means the decision was fixed
+	// from, so Drift can price how far later windows have moved them.
+	decMeans []float64
 }
 
 // NewTable builds a table for a machine with numTypes core types.
@@ -98,9 +105,43 @@ func (t *Table) LeastMeasured(phase, offset int) amp.CoreTypeID {
 	return amp.CoreTypeID(best)
 }
 
-// SetDecision fixes (or refreshes) a phase's decision.
+// SetDecision fixes (or refreshes) a phase's decision, snapshotting the
+// current means as the drift baseline.
 func (t *Table) SetDecision(phase int, dec Decision) {
-	t.row(phase).dec = &dec
+	r := t.row(phase)
+	r.dec = &dec
+	r.decMeans = t.Means(phase)
+}
+
+// Drift returns the relative movement of a phase's per-type IPC means
+// since its decision was last fixed: the largest per-type |now-then| over
+// the larger of the two values. A drift-damped consumer re-enters Decide
+// only when this exceeds its ε — the hybrid's re-decision damping knob.
+// Undecided phases report +Inf (any evidence warrants the first decision).
+func (t *Table) Drift(phase int) float64 {
+	r, ok := t.rows[phase]
+	if !ok || r.dec == nil || r.decMeans == nil {
+		return math.Inf(1)
+	}
+	now := t.Means(phase)
+	worst := 0.0
+	for i := range now {
+		ref := now[i]
+		if r.decMeans[i] > ref {
+			ref = r.decMeans[i]
+		}
+		if ref <= 0 {
+			continue
+		}
+		d := (now[i] - r.decMeans[i]) / ref
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // DecisionOf returns a phase's fixed decision, or nil while undecided.

@@ -178,5 +178,57 @@ func Series(xLabel, yLabel string, xs, ys []float64, width int) string {
 	return b.String()
 }
 
+// Heatmap renders a labeled grid of signed values (rows × cols) with each
+// cell's number followed by a shade glyph. tol is the break-even
+// tolerance: cells within ±tol render '=' — the visible break-even band —
+// and a '|' replaces the glyph where a row falls out of the hold zone
+// (current cell ≥ −tol, next cell < −tol). Cells clearly above shade
+// '+'/'#' by magnitude, cells clearly below ':'/'.', so the band
+// structure reads at a glance even where the numbers are small. vals must
+// be rectangular: len(vals) == len(rowLabels), len(vals[r]) ==
+// len(colLabels). tol <= 0 means a strict zero break-even.
+func Heatmap(corner string, rowLabels, colLabels []string, vals [][]float64, tol float64) string {
+	shade := func(v float64) byte {
+		switch {
+		case v >= -tol && v <= tol:
+			return '='
+		case v > 4*tol:
+			return '#'
+		case v > 0:
+			return '+'
+		case v < -4*tol:
+			return '.'
+		}
+		return ':'
+	}
+
+	rowW := len(corner)
+	for _, l := range rowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	const cellW = 8 // "%+6.1f" + shade glyph + space
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", rowW, corner)
+	for _, l := range colLabels {
+		fmt.Fprintf(&b, " %*s", cellW-1, l)
+	}
+	b.WriteByte('\n')
+	for r, row := range vals {
+		fmt.Fprintf(&b, "%-*s", rowW, rowLabels[r])
+		for c, v := range row {
+			glyph := shade(v)
+			if v >= -tol && c+1 < len(row) && row[c+1] < -tol {
+				glyph = '|'
+			}
+			fmt.Fprintf(&b, " %+6.1f%c", v, glyph)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "legend: '=' break-even (within ±%.1f), +/# above, :/. below; '|' marks where a row falls off the break-even band\n", tol)
+	return b.String()
+}
+
 // Pct formats a percentage with sign.
 func Pct(v float64) string { return fmt.Sprintf("%+.2f%%", v) }

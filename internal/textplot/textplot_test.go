@@ -84,3 +84,36 @@ func TestPct(t *testing.T) {
 		t.Errorf("Pct = %q", Pct(-2))
 	}
 }
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("rate\\win",
+		[]string{"r1", "r2"},
+		[]string{"2000", "8000", "32000"},
+		[][]float64{{2.5, 0.4, -1.2}, {-1.0, -2.0, -4.0}}, 0.5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "8000") {
+		t.Error("column labels missing")
+	}
+	// Row 1 falls off the break-even band between 8000 (within tol) and
+	// 32000 (below −tol): the last holding cell carries the frontier mark,
+	// and the strong-positive cell shades '#'.
+	if !strings.Contains(lines[1], "+0.4|") {
+		t.Errorf("frontier mark missing in %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "+2.5#") {
+		t.Errorf("strong-positive shade missing in %q", lines[1])
+	}
+	// Row 2 never holds: no frontier mark, negative shades throughout.
+	if strings.Contains(lines[2], "|") || strings.Contains(lines[2], "=") {
+		t.Errorf("unexpected hold marks in %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "-4.0.") {
+		t.Errorf("strong-negative shade missing in %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "legend") {
+		t.Error("legend missing")
+	}
+}

@@ -16,7 +16,14 @@
 // ScaleDivisor (bwaves capped), under the scaled simulation clock of
 // package amp; phase alternation counts follow the paper's switch counts
 // under the same divisor. Uniform scaling preserves every relative quantity
-// (see DESIGN.md §9).
+// (see DESIGN.md §10).
+//
+// Beyond the fixed suite, the package provides the synthetic
+// alternation-rate axis of the misprediction-cost breakdown (AltSpec,
+// AltAnchorSpecs, Spec.Alternations + Spec.Materialize): constant-mix
+// alternator fleets whose only varying property is how fast their phases
+// alternate, with rates reported in alternations per billion estimated
+// dynamic instructions (BenchSpec.AltRate).
 package workload
 
 import (
@@ -128,6 +135,10 @@ type PhaseSpec struct {
 type BenchSpec struct {
 	// Name is the SPEC-style benchmark name.
 	Name string
+	// Personality optionally overrides the phase-table key: synthetic
+	// benchmarks (the alternation-rate axis) share one personality under
+	// many names. Empty means the Name is the key.
+	Personality string
 	// PaperRuntimeSec and PaperSwitches record the paper's Table 1 row this
 	// personality models (0 switches means single-phase).
 	PaperRuntimeSec float64
@@ -145,25 +156,35 @@ type BenchSpec struct {
 
 // Phases derives the per-iteration phase sequence from the personality
 // table.
-func (s BenchSpec) Phases() []PhaseSpec { return phaseTable[s.Name] }
+func (s BenchSpec) Phases() []PhaseSpec {
+	key := s.Personality
+	if key == "" {
+		key = s.Name
+	}
+	return phaseTable[key]
+}
 
 // phaseTable maps benchmark names to phase sequences.
 var phaseTable = map[string][]PhaseSpec{
-	"401.bzip2":    {{Kind: CPUPhase, Share: 0.55}, {Kind: MemPhase, Share: 0.45}},
-	"410.bwaves":   {{Kind: FPPhase, Share: 0.45}, {Kind: MemPhase, Share: 0.55, Helper: true}},
-	"429.mcf":      {{Kind: MemPhase, Share: 0.55}, {Kind: CPUPhase, Share: 0.1}, {Kind: MemPhase, Share: 0.35}},
-	"459.GemsFDTD": {{Kind: MemPhase, Share: 1}},
-	"470.lbm":      {{Kind: MemPhase, Share: 0.8}, {Kind: FPPhase, Share: 0.2}},
-	"473.astar":    {{Kind: MixedPhase, Share: 1}},
-	"188.ammp":     {{Kind: FPPhase, Share: 0.4}, {Kind: MemPhase, Share: 0.3}, {Kind: FPPhase, Share: 0.3}},
-	"173.applu":    {{Kind: FPPhase, Share: 0.6}, {Kind: MemPhase, Share: 0.4, Helper: true}},
-	"179.art":      {{Kind: MemPhase, Share: 0.8}, {Kind: CPUPhase, Share: 0.2}},
-	"183.equake":   {{Kind: CPUPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
-	"164.gzip":     {{Kind: CPUPhase, Share: 0.7}, {Kind: MemPhase, Share: 0.3}},
-	"181.mcf":      {{Kind: MemPhase, Share: 0.6}, {Kind: CPUPhase, Share: 0.15}, {Kind: MemPhase, Share: 0.25}},
-	"172.mgrid":    {{Kind: FPPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
-	"171.swim":     {{Kind: MemPhase, Share: 0.45}, {Kind: FPPhase, Share: 0.55}},
-	"175.vpr":      {{Kind: CPUPhase, Share: 0.35}, {Kind: MemPhase, Share: 0.35}, {Kind: CPUPhase, Share: 0.3}},
+	"401.bzip2":       {{Kind: CPUPhase, Share: 0.55}, {Kind: MemPhase, Share: 0.45}},
+	"410.bwaves":      {{Kind: FPPhase, Share: 0.45}, {Kind: MemPhase, Share: 0.55, Helper: true}},
+	"429.mcf":         {{Kind: MemPhase, Share: 0.55}, {Kind: CPUPhase, Share: 0.1}, {Kind: MemPhase, Share: 0.35}},
+	"459.GemsFDTD":    {{Kind: MemPhase, Share: 1}},
+	"470.lbm":         {{Kind: MemPhase, Share: 0.8}, {Kind: FPPhase, Share: 0.2}},
+	"473.astar":       {{Kind: MixedPhase, Share: 1}},
+	"188.ammp":        {{Kind: FPPhase, Share: 0.4}, {Kind: MemPhase, Share: 0.3}, {Kind: FPPhase, Share: 0.3}},
+	"173.applu":       {{Kind: FPPhase, Share: 0.6}, {Kind: MemPhase, Share: 0.4, Helper: true}},
+	"179.art":         {{Kind: MemPhase, Share: 0.8}, {Kind: CPUPhase, Share: 0.2}},
+	"183.equake":      {{Kind: CPUPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
+	altPersonality:    {{Kind: CPUPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
+	altRevPersonality: {{Kind: MemPhase, Share: 0.5}, {Kind: CPUPhase, Share: 0.5}},
+	altCPUPersonality: {{Kind: CPUPhase, Share: 0.9}, {Kind: MemPhase, Share: 0.1}},
+	altMemPersonality: {{Kind: MemPhase, Share: 0.9}, {Kind: CPUPhase, Share: 0.1}},
+	"164.gzip":        {{Kind: CPUPhase, Share: 0.7}, {Kind: MemPhase, Share: 0.3}},
+	"181.mcf":         {{Kind: MemPhase, Share: 0.6}, {Kind: CPUPhase, Share: 0.15}, {Kind: MemPhase, Share: 0.25}},
+	"172.mgrid":       {{Kind: FPPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
+	"171.swim":        {{Kind: MemPhase, Share: 0.45}, {Kind: FPPhase, Share: 0.55}},
+	"175.vpr":         {{Kind: CPUPhase, Share: 0.35}, {Kind: MemPhase, Share: 0.35}, {Kind: CPUPhase, Share: 0.3}},
 }
 
 // Benchmark is a generated suite member.
@@ -436,6 +457,151 @@ func Specs() []BenchSpec {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// The synthetic alternation-rate axis.
+//
+// The misprediction-cost ablation (ROADMAP; experiments.Breakdown) needs to
+// vary exactly one thing — how fast phases alternate — while holding the
+// instruction mix constant. No real suite member can do that (each has its
+// own mix and length), so the axis is a synthetic benchmark: the equake
+// personality (a cpu/mem alternator, the paper's fastest phase-switcher)
+// at a fixed target runtime, with Alternations swept geometrically. Rates
+// are reported in alternations per billion estimated dynamic instructions
+// (AltRate) so the experiment axis and the benchgen suite table share one
+// unit.
+
+// altPersonality keys the alternator's phase table entry: the same 50/50
+// cpu/mem alternation as 183.equake. altRevPersonality is the identical
+// mix with the phase order rotated (mem first), and altCPUPersonality /
+// altMemPersonality are the stable single-phase anchors. Materialize
+// interleaves all four across slots: a fleet of only alternators is
+// degenerate — every task demands the same core type at the same instant
+// (correlated herding) and every DRAM phase lands on one shared L2 — so
+// the fleet mirrors the real suite's composition (stable jobs plus
+// alternators, aggregate demand matching machine capacity) while only the
+// alternation rate varies across the axis.
+const (
+	altPersonality    = "synthetic.alt"
+	altRevPersonality = "synthetic.alt.rev"
+	altCPUPersonality = "synthetic.cpu"
+	altMemPersonality = "synthetic.mem"
+)
+
+// AltTargetSec is the alternator's designed isolation runtime on a fast
+// core under the scaled clock. 20 s × 240k cycles/s = 4.8M cycles total,
+// so one alternation at count A spans 4.8M/A cycles: the default axis
+// (DefaultAltAlternations) walks phase lengths from well above the largest
+// detection window to equake-like (~2k cycles) and beyond.
+const AltTargetSec = 20
+
+// AltSpec returns the synthetic constant-mix alternator personality at the
+// given alternation count. Alternation counts are the axis; everything
+// else — mix, target runtime, static bulk — is held fixed.
+func AltSpec(alternations int) BenchSpec {
+	return altSpec(alternations, false)
+}
+
+// AltSpecRev is AltSpec with the phase order rotated (mem first) — the
+// antiphase partner Materialize interleaves across slots.
+func AltSpecRev(alternations int) BenchSpec {
+	return altSpec(alternations, true)
+}
+
+func altSpec(alternations int, rev bool) BenchSpec {
+	if alternations < 1 {
+		alternations = 1
+	}
+	name, personality := fmt.Sprintf("alt.x%d", alternations), altPersonality
+	if rev {
+		name, personality = name+".r", altRevPersonality
+	}
+	return BenchSpec{
+		Name:         name,
+		Personality:  personality,
+		TargetSec:    AltTargetSec,
+		Alternations: alternations,
+		StaticInstrs: 3000,
+	}
+}
+
+// AltAnchorSpecs returns the fleet's stable anchors: a compute-dominant
+// job and a memory-dominant job at the alternator's target runtime, each
+// with a small secondary phase (so they carry phase marks and every
+// policy — static included — can place them, like the suite's
+// low-alternation members) and a fixed low alternation count. They are
+// rate-invariant — the constant half of every alternation-axis workload.
+func AltAnchorSpecs() []BenchSpec {
+	return []BenchSpec{
+		{Name: "alt.cpu", Personality: altCPUPersonality, TargetSec: AltTargetSec,
+			Alternations: 2, StaticInstrs: 3000},
+		{Name: "alt.mem", Personality: altMemPersonality, TargetSec: AltTargetSec,
+			Alternations: 2, StaticInstrs: 3000},
+	}
+}
+
+// DefaultAltAlternations is the default breakdown axis: six alternation
+// counts spaced geometrically (×4). At AltTargetSec the phase period runs
+// from ~600k cycles (trivially tracked by every window) down to ~590
+// cycles (faster than 183.equake — inside any realistic window).
+func DefaultAltAlternations() []int {
+	return []int{4, 16, 64, 256, 1024, 4096}
+}
+
+// EstInstrs estimates a spec's dynamic phase-loop instruction count from
+// the same per-iteration cost math Generate sizes trip counts with: for
+// each phase, cycles-per-iteration prices the trip count and the expected
+// instructions per iteration (main variant plus half of each alternate,
+// plus the branch skeleton) scale it back to instructions. Cold startup
+// code is excluded — thousands of instructions against millions. The
+// estimate is what AltRate normalizes alternation counts by.
+func (s BenchSpec) EstInstrs(cm exec.CostModel, machine *amp.Machine) float64 {
+	phases := s.Phases()
+	if len(phases) == 0 || s.TargetSec <= 0 {
+		return 0
+	}
+	totalShare := 0.0
+	for _, ph := range phases {
+		totalShare += ph.Share
+	}
+	if totalShare <= 0 {
+		return 0
+	}
+	totalCycles := s.TargetSec * machine.Types[0].CyclesPerSec
+	instrs := 0.0
+	for _, ph := range phases {
+		vs := ph.Kind.variants()
+		perIterCost := mixCycles(cm, machine, vs[0]) +
+			0.5*(mixCycles(cm, machine, vs[1])+mixCycles(cm, machine, vs[2])) +
+			cm.CPI[isa.Branch] + 0.5*cm.CPI[isa.Jump] +
+			cm.CPI[isa.Branch] // loop back-branch
+		perIterInstrs := float64(vs[0].Total()) +
+			0.5*float64(vs[1].Total()+vs[2].Total()) +
+			2.5 // if-else branch + loop branch + half a jump
+		if ph.Helper {
+			perIterCost += cm.CPI[isa.Call] + cm.CPI[isa.Ret]
+			perIterInstrs += 2
+		}
+		phaseCycles := totalCycles * ph.Share / totalShare
+		instrs += phaseCycles / perIterCost * perIterInstrs
+	}
+	return instrs
+}
+
+// AltRate returns the spec's phase-alternation rate in alternations per
+// billion estimated dynamic instructions — the shared unit of the
+// breakdown experiment's rate axis and the benchgen suite table. Zero for
+// single-run (Alternations <= 1) or unestimable specs.
+func (s BenchSpec) AltRate(cm exec.CostModel, machine *amp.Machine) float64 {
+	if s.Alternations <= 1 {
+		return 0
+	}
+	inst := s.EstInstrs(cm, machine)
+	if inst <= 0 {
+		return 0
+	}
+	return float64(s.Alternations) * 1e9 / inst
+}
+
 // Suite generates the full benchmark suite deterministically.
 func Suite(cm exec.CostModel, machine *amp.Machine) ([]*Benchmark, error) {
 	specs := Specs()
@@ -490,9 +656,58 @@ type Spec struct {
 	QueueLen int `json:"queue_len"`
 	// Seed drives the random benchmark draw.
 	Seed uint64 `json:"seed"`
+	// Alternations, when > 0, selects the synthetic alternation-rate axis
+	// instead of the suite draw: slots cycle through the anchored
+	// alternation fleet — the constant-mix alternator at this alternation
+	// count, a stable cpu anchor, the antiphase alternator rotation, and a
+	// stable mem anchor — so only the alternation rate varies across
+	// compared specs while the fleet's composition stays fixed (see
+	// Materialize). Specs carrying it must materialize through Materialize:
+	// the fleet is generated against (cost, machine), which Build does not
+	// have.
+	Alternations int `json:"alternations,omitempty"`
 }
 
-// Build materializes the workload against a suite.
+// Build materializes the workload against a suite. It serves only the
+// suite-draw form (Alternations == 0); alternation-axis specs go through
+// Materialize.
 func (s Spec) Build(suite []*Benchmark) *Workload {
 	return BuildWorkload(suite, s.Slots, s.QueueLen, s.Seed)
+}
+
+// Materialize builds the workload, generating the synthetic alternation
+// fleet when the spec carries an alternation-rate axis: slots cycle
+// through [alternator, cpu anchor, reversed alternator, mem anchor], so
+// half the fleet alternates (in antiphase rotations) against a stable
+// half whose demand anchors the machine — the composition that keeps
+// aggregate core-type demand near capacity at every rate (see
+// altPersonality for why an alternator-only fleet is degenerate).
+// Generation is a pure function of (cost, machine, alternations), so
+// alternation specs rebuild bit-identically across processes exactly like
+// suite draws do; Seed keeps driving per-process branch seeds through the
+// run configuration.
+func (s Spec) Materialize(suite []*Benchmark, cm exec.CostModel, machine *amp.Machine) (*Workload, error) {
+	if s.Alternations <= 0 {
+		return s.Build(suite), nil
+	}
+	anchors := AltAnchorSpecs()
+	specs := []BenchSpec{AltSpec(s.Alternations), anchors[0], AltSpecRev(s.Alternations), anchors[1]}
+	fleet := make([]*Benchmark, len(specs))
+	for i, sp := range specs {
+		b, err := Generate(sp, cm, machine)
+		if err != nil {
+			return nil, err
+		}
+		fleet[i] = b
+	}
+	w := &Workload{Slots: make([][]*Benchmark, s.Slots)}
+	for i := range w.Slots {
+		b := fleet[i%len(fleet)]
+		q := make([]*Benchmark, s.QueueLen)
+		for j := range q {
+			q[j] = b
+		}
+		w.Slots[i] = q
+	}
+	return w, nil
 }

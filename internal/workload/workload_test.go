@@ -195,6 +195,111 @@ func TestWorkloadDrawsRoughlyUniform(t *testing.T) {
 	}
 }
 
+func TestAltSpecGeneratesAtEveryDefaultRate(t *testing.T) {
+	cm := exec.DefaultCostModel()
+	m := amp.Quad2Fast2Slow()
+	for _, a := range DefaultAltAlternations() {
+		sp := AltSpec(a)
+		b, err := Generate(sp, cm, m)
+		if err != nil {
+			t.Fatalf("alt %d: %v", a, err)
+		}
+		if err := b.Prog.Validate(); err != nil {
+			t.Errorf("alt %d: %v", a, err)
+		}
+		if got := sp.Alternations; got != a {
+			t.Errorf("alt %d: spec alternations %d", a, got)
+		}
+		if len(sp.Phases()) != 2 {
+			t.Errorf("alt %d: personality has %d phases, want 2", a, len(sp.Phases()))
+		}
+	}
+}
+
+func TestAltRateScalesGeometrically(t *testing.T) {
+	// The axis holds everything but Alternations fixed, so the rate (per
+	// billion estimated instructions) must scale linearly in the count.
+	cm := exec.DefaultCostModel()
+	m := amp.Quad2Fast2Slow()
+	alts := DefaultAltAlternations()
+	prev := 0.0
+	for i, a := range alts {
+		r := AltSpec(a).AltRate(cm, m)
+		if r <= 0 {
+			t.Fatalf("alt %d: non-positive rate %g", a, r)
+		}
+		if i > 0 {
+			wantRatio := float64(a) / float64(alts[i-1])
+			if got := r / prev; math.Abs(got-wantRatio) > 0.01*wantRatio {
+				t.Errorf("rate ratio %d/%d = %.3f, want %.3f", a, alts[i-1], got, wantRatio)
+			}
+		}
+		prev = r
+	}
+	// Single-phase specs carry no rate.
+	if r := (BenchSpec{Name: "473.astar", TargetSec: 1, Alternations: 1}).AltRate(cm, m); r != 0 {
+		t.Errorf("single-run spec rate = %g, want 0", r)
+	}
+}
+
+func TestMaterializeAlternationAxis(t *testing.T) {
+	cm := exec.DefaultCostModel()
+	m := amp.Quad2Fast2Slow()
+	s := suite(t)
+
+	// Alternations == 0 behaves exactly like Build.
+	plain := Spec{Slots: 4, QueueLen: 8, Seed: 9}
+	w, err := plain.Materialize(s, cm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := plain.Build(s)
+	for i := range ref.Slots {
+		for j := range ref.Slots[i] {
+			if w.Slots[i][j] != ref.Slots[i][j] {
+				t.Fatalf("slot %d/%d differs from Build", i, j)
+			}
+		}
+	}
+
+	// Alternations > 0 yields the anchored alternation fleet, rebuilt
+	// bit-identically across calls (the fabric's cross-process contract).
+	alt := Spec{Slots: 3, QueueLen: 5, Seed: 9, Alternations: 64}
+	a, err := alt.Materialize(s, cm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := alt.Materialize(nil, cm, m) // suite unused on the alt path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSlots() != 3 {
+		t.Fatalf("slots = %d", a.NumSlots())
+	}
+	// Slots cycle alternator / cpu anchor / reversed alternator / mem
+	// anchor; only the alternators carry the swept rate.
+	fleet := []string{"alt.x64", "alt.cpu", "alt.x64.r", "alt.mem"}
+	for i, q := range a.Slots {
+		if len(q) != 5 {
+			t.Fatalf("slot %d queue length %d", i, len(q))
+		}
+		want := fleet[i%len(fleet)]
+		for j, bench := range q {
+			if bench.Name() != want {
+				t.Errorf("slot %d/%d holds %s, want %s", i, j, bench.Name(), want)
+			}
+			if bench.Prog.NumInstrs() != b.Slots[i][j].Prog.NumInstrs() {
+				t.Errorf("slot %d/%d program differs across materializations", i, j)
+			}
+		}
+	}
+	// The two rotations are one mix: identical phase kinds, rotated order.
+	fwd, rev := AltSpec(64).Phases(), AltSpecRev(64).Phases()
+	if len(fwd) != 2 || len(rev) != 2 || fwd[0].Kind != rev[1].Kind || fwd[1].Kind != rev[0].Kind {
+		t.Errorf("rotations are not phase-rotated copies: %v vs %v", fwd, rev)
+	}
+}
+
 func TestPhaseKindStrings(t *testing.T) {
 	for _, k := range []PhaseKind{CPUPhase, FPPhase, MemPhase, MemLightPhase, MixedPhase} {
 		if k.String() == "" {

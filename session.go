@@ -285,11 +285,21 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 	mode, params, tcfg, ocfg, pcfg := s.resolve(spec)
 	w := spec.Workload
 	if w == nil && spec.Queues != nil {
-		suite, err := s.Suite()
+		// Alternation-axis specs (Queues.Alternations > 0) generate the
+		// synthetic alternator and never touch the suite.
+		var suite []*Benchmark
+		if spec.Queues.Alternations <= 0 {
+			var err error
+			suite, err = s.Suite()
+			if err != nil {
+				return sim.RunConfig{}, err
+			}
+		}
+		var err error
+		w, err = spec.Queues.Materialize(suite, s.cost, s.machine)
 		if err != nil {
 			return sim.RunConfig{}, err
 		}
-		w = spec.Queues.Build(suite)
 	}
 
 	cost := s.cost
