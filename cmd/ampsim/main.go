@@ -9,7 +9,8 @@
 //	ampsim [-policy none|static|dynamic|oracle|hybrid] [-mode overhead]
 //	       [-online greedy|probe] [-spill] [-drift 0.05] [-slots 18]
 //	       [-duration 400] [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
-//	       [-technique loop] [-min 45] [-window 8000] [-alt N] [-progress]
+//	       [-technique loop] [-min 45] [-window 8000] [-alt N]
+//	       [-arrivals poisson|bursty|diurnal] [-load 1.0] [-progress]
 //
 // -policy selects the placement policy (default static). -spill enables
 // capacity-aware spill arbitration in the static runtime (the shared
@@ -19,6 +20,14 @@
 // alternations (workload.Spec.Materialize) — the breakdown experiment's
 // rate axis, one point at a time. -mode overhead is the legacy all-cores
 // overhead methodology and overrides -policy.
+//
+// -arrivals switches the run to the open-system serving form: serving-fleet
+// jobs arrive under the selected process at -load times machine capacity
+// (admission stops at 75% of -duration so the tail can drain), the
+// overcommit dispatcher time-multiplexes oversubscribed core types, and
+// the report adds sojourn-time percentiles (p50/p95/p99/p999). All flag
+// combinations are validated up front — a bad one fails with a message
+// instead of silently running zero jobs.
 package main
 
 import (
@@ -49,14 +58,24 @@ func main() {
 	window := flag.Uint64("window", 0, "online detection window in instructions (0 = default)")
 	drift := flag.Float64("drift", 0, "hybrid re-decision damping threshold ε (0 = undamped)")
 	alt := flag.Int("alt", 0, "run the synthetic alternator at N alternations instead of the suite (0 = suite)")
+	arrivals := flag.String("arrivals", "", "open-system serving: arrival process kind (poisson, bursty, or diurnal)")
+	load := flag.Float64("load", 1.0, "serving offered load in multiples of machine capacity (with -arrivals)")
 	progress := flag.Bool("progress", false, "print simulated-time progress")
 	flag.Parse()
+
+	loadSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "load" {
+			loadSet = true
+		}
+	})
 
 	if err := run(options{
 		policy: *policy, mode: *mode, onlinePolicy: *onlinePolicy, spill: *spill,
 		slots: *slots, duration: *duration, seed: *seed,
 		machine: *machineFlag, delta: *delta, technique: *technique,
 		minSize: *minSize, window: *window, drift: *drift, alt: *alt,
+		arrivals: *arrivals, load: *load, loadSet: loadSet,
 		progress: *progress,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
@@ -76,10 +95,46 @@ type options struct {
 	window                     uint64
 	drift                      float64
 	alt                        int
+	arrivals                   string
+	load                       float64
+	loadSet                    bool
 	progress                   bool
 }
 
+// validate rejects flag combinations that would otherwise run zero jobs (or
+// nonsense) silently, with a message naming the offending flag.
+func (o options) validate() error {
+	if !(o.duration > 0) {
+		return fmt.Errorf("-duration must be positive (a zero-duration run admits no jobs)")
+	}
+	if o.arrivals != "" {
+		if _, err := phasetune.ParseArrivalKind(o.arrivals); err != nil {
+			return fmt.Errorf("-arrivals: %w", err)
+		}
+		if !(o.load > 0) {
+			return fmt.Errorf("-load must be positive (got %g): it is the offered load in multiples of machine capacity", o.load)
+		}
+		if o.alt > 0 {
+			return fmt.Errorf("-arrivals and -alt are mutually exclusive: the serving fleet replaces the alternator workload")
+		}
+		if o.mode == "overhead" {
+			return fmt.Errorf("-arrivals does not support -mode overhead (overhead is a closed all-cores methodology); pick a -policy instead")
+		}
+		return nil
+	}
+	if o.loadSet {
+		return fmt.Errorf("-load only applies with -arrivals (closed slot-queue workloads have no offered load)")
+	}
+	if o.slots <= 0 {
+		return fmt.Errorf("-slots must be positive (got %d)", o.slots)
+	}
+	return nil
+}
+
 func run(o options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	var machine *phasetune.Machine
 	switch o.machine {
 	case "quad":
@@ -131,7 +186,14 @@ func run(o options) error {
 	}
 
 	cost := phasetune.DefaultCost()
-	if o.alt > 0 {
+	if o.arrivals != "" {
+		kind, err := phasetune.ParseArrivalKind(o.arrivals)
+		if err != nil {
+			return err
+		}
+		arr := phasetune.ServingArrivals(machine, kind, o.load, 0.75*o.duration)
+		spec.Arrivals = &arr
+	} else if o.alt > 0 {
 		// The synthetic alternation-rate axis: the anchored alternation
 		// fleet (alternator + antiphase rotation + stable anchors),
 		// materialized by the session.
@@ -184,13 +246,18 @@ func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	sess := phasetune.NewSession(
+	sessOpts := []phasetune.SessionOption{
 		phasetune.WithMachine(machine),
 		phasetune.WithCost(cost),
 		phasetune.WithTuning(tcfg),
 		phasetune.WithOnline(ocfg),
 		phasetune.WithEvents(events),
-	)
+	}
+	if o.arrivals != "" {
+		// Open systems run oversubscribed by design.
+		sessOpts = append(sessOpts, phasetune.WithOvercommit(phasetune.OvercommitConfig{Enabled: true}))
+	}
+	sess := phasetune.NewSession(sessOpts...)
 	res, err := sess.RunContext(ctx, spec)
 	if o.progress {
 		fmt.Fprintln(os.Stderr)
@@ -215,13 +282,28 @@ func run(o options) error {
 	if o.alt > 0 {
 		t.AddRow("workload", fmt.Sprintf("alt.x%d anchored fleet", o.alt))
 	}
-	t.AddRow("slots", fmt.Sprintf("%d", o.slots))
+	if spec.Arrivals != nil {
+		t.AddRow("arrivals", fmt.Sprintf("%s @ %.2fx load (%.2f jobs/s)",
+			o.arrivals, o.load, spec.Arrivals.RatePerSec))
+	} else {
+		t.AddRow("slots", fmt.Sprintf("%d", o.slots))
+	}
 	t.AddRow("duration", fmt.Sprintf("%.0fs", o.duration))
 	t.AddRow("jobs spawned", fmt.Sprintf("%d", len(res.Tasks)))
 	t.AddRow("jobs completed", fmt.Sprintf("%d", metrics.CompletedCount(res.Tasks)))
 	t.AddRow("avg process time", fmt.Sprintf("%.2fs", metrics.AvgProcessTime(res.Tasks)))
 	t.AddRow("max flow", fmt.Sprintf("%.2fs", metrics.MaxFlow(res.Tasks)))
 	t.AddRow("throughput", fmt.Sprintf("%.4g instr/s", tput))
+	if spec.Arrivals != nil {
+		st := phasetune.SummarizeServing(res)
+		t.AddRow("sojourn p50", fmt.Sprintf("%.2fs", st.P50))
+		t.AddRow("sojourn p95", fmt.Sprintf("%.2fs", st.P95))
+		t.AddRow("sojourn p99", fmt.Sprintf("%.2fs", st.P99))
+		t.AddRow("sojourn p999", fmt.Sprintf("%.2fs", st.P999))
+		t.AddRow("sojourn mean", fmt.Sprintf("%.2fs", st.MeanSojournSec))
+		t.AddRow("peak runnable", fmt.Sprintf("%d (on %d cores)", st.PeakRunnable, len(machine.Cores)))
+		t.AddRow("overcommit slices", fmt.Sprintf("%d", st.OvercommitSlices))
+	}
 	t.AddRow("core switches", fmt.Sprintf("%d", migrations))
 	t.AddRow("marks executed", fmt.Sprintf("%d", marks))
 	t.AddRow("counter deferrals", fmt.Sprintf("%d", res.CounterDefers))

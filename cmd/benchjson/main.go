@@ -13,10 +13,12 @@
 // last-vs-previous comparison table. The history is shared with other
 // producers (internal/benchhist): `breakdown` entries appended by
 // `cmd/experiments -run breakdown -benchout` render as misprediction-cost
-// heatmaps after the timing series, and entries of kinds this build does
-// not know are called out by kind and count rather than silently skipped.
-// The regression gate compares the last two *timing* entries, so appending
-// a breakdown map never masks (or fakes) a benchmark regression. It exits
+// heatmaps after the timing series, `serving` entries appended by
+// `cmd/experiments -run serving -benchout` render as latency quantile
+// strips, and entries of kinds this build does not know are called out by
+// kind and count rather than silently skipped. The regression gate
+// compares the last two *timing* entries, so appending a breakdown map or
+// a serving summary never masks (or fakes) a benchmark regression. It exits
 // non-zero when any benchmark regressed by more than -regression percent —
 // CI wires it as a soft-fail step so the performance trajectory is
 // inspected on every push without blocking unrelated work.
@@ -91,9 +93,10 @@ func runHistory(path string, regressionPct float64) error {
 	}
 
 	// Partition by kind: timings chart as series, the latest breakdown
-	// charts as heatmaps, anything newer than this build is surfaced.
+	// charts as heatmaps, the latest serving entry as quantile strips,
+	// anything newer than this build is surfaced.
 	var timings []benchhist.Entry
-	var lastBreakdown *benchhist.Entry
+	var lastBreakdown, lastServing *benchhist.Entry
 	unknown := map[string]int{}
 	for i := range hist.Entries {
 		e := hist.Entries[i]
@@ -102,6 +105,8 @@ func runHistory(path string, regressionPct float64) error {
 			timings = append(timings, e)
 		case benchhist.KindBreakdown:
 			lastBreakdown = &hist.Entries[i]
+		case benchhist.KindServing:
+			lastServing = &hist.Entries[i]
 		default:
 			unknown[e.Kind]++
 		}
@@ -162,6 +167,27 @@ func runHistory(path string, regressionPct float64) error {
 			}
 			fmt.Printf("\n%s\n", bd.Machine)
 			fmt.Print(textplot.Heatmap("rate\\win", rows, cols, bd.DeltaPct, bd.TolerancePct))
+		}
+	}
+
+	if lastServing != nil {
+		fmt.Printf("\nopen-system serving (recorded %s): sojourn quantiles by load × policy\n",
+			lastServing.Timestamp)
+		for _, sv := range lastServing.Serving {
+			for li, load := range sv.Loads {
+				if li >= len(sv.P50Sec) {
+					break
+				}
+				peak := 0
+				if li < len(sv.PeakRunnable) {
+					peak = sv.PeakRunnable[li]
+				}
+				fmt.Printf("\n%s @ load %.2fx (peak runnable %d)\n", sv.Machine, load, peak)
+				// The entry stores p50/p99/p999; reuse p99 for the strip's
+				// p95 slot so the markers stay ordered.
+				fmt.Print(textplot.QuantileStrip(sv.Policies,
+					sv.P50Sec[li], sv.P99Sec[li], sv.P99Sec[li], sv.P999Sec[li], 48))
+			}
 		}
 	}
 

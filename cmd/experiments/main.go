@@ -5,7 +5,7 @@
 //
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
 //	             switchcost|typing|threecore|showdown|window|breakdown|
-//	             ablations]
+//	             serving|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
 //	            [-workers N] [-shards N] [-cachestats]
 //	            [-alts a,b,c] [-windows a,b,c] [-benchout FILE]
@@ -26,6 +26,11 @@
 // heatmap with the break-even frontier marked. -benchout appends the map
 // as a `breakdown` entry to the measurement history (BENCH_sweep.json),
 // where `benchjson -history` charts it alongside the timing trajectory.
+//
+// -run serving is the open-system experiment: Poisson arrivals at offered
+// loads 0.5×–1.5× of machine capacity, overcommit scheduling, and the
+// sojourn-time tail (p50/p95/p99/p999) per placement policy on the quad
+// and hex machines. -benchout appends it as a `serving` entry.
 package main
 
 import (
@@ -130,6 +135,7 @@ func main() {
 		{"showdown", showdown},
 		{"window", window},
 		{"breakdown", breakdown},
+		{"serving", serving},
 		{"ablations", ablations},
 	} {
 		if all || *runFlag == exp.name {
@@ -481,6 +487,92 @@ func breakdown(cfg experiments.Config) error {
 			return err
 		}
 		fmt.Printf("\nappended breakdown entry to %s\n", breakdownOpts.out)
+	}
+	return nil
+}
+
+func serving(cfg experiments.Config) error {
+	header("Open-system serving — sojourn-time tail by offered load × placement policy")
+	rows, err := experiments.Serving(cfg, nil)
+	if err != nil {
+		return err
+	}
+
+	t := textplot.NewTable("machine", "load", "rate/s", "policy", "admitted", "done",
+		"p50", "p95", "p99", "p999", "mean", "peak-run", "oc-slices")
+	for _, r := range rows {
+		t.AddRow(r.Machine,
+			fmt.Sprintf("%.2f", r.Load),
+			fmt.Sprintf("%.2f", r.RatePerSec),
+			r.Policy.String(),
+			fmt.Sprintf("%.0f", r.Admitted),
+			fmt.Sprintf("%.0f", r.Completed),
+			fmt.Sprintf("%.2f", r.P50),
+			fmt.Sprintf("%.2f", r.P95),
+			fmt.Sprintf("%.2f", r.P99),
+			fmt.Sprintf("%.2f", r.P999),
+			fmt.Sprintf("%.2f", r.MeanSojournSec),
+			fmt.Sprintf("%d", r.PeakRunnable),
+			fmt.Sprintf("%.0f", r.OvercommitSlices))
+	}
+	fmt.Print(t.String())
+
+	// One quantile strip per (machine, load): the policies' latency tails
+	// on a shared axis, where the separation at load >= 1x is visible.
+	loads, policies := experiments.ServingLoads(), experiments.ServingPolicies()
+	byCell := map[string]experiments.ServingRow{}
+	var machines []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		byCell[fmt.Sprintf("%s/%.2f/%s", r.Machine, r.Load, r.Policy)] = r
+		if !seen[r.Machine] {
+			seen[r.Machine] = true
+			machines = append(machines, r.Machine)
+		}
+	}
+	var entries []benchhist.Serving
+	for _, machine := range machines {
+		entry := benchhist.Serving{Machine: machine, Loads: loads}
+		for _, p := range policies {
+			entry.Policies = append(entry.Policies, p.String())
+		}
+		for _, load := range loads {
+			var names []string
+			var p50s, p95s, p99s, p999s []float64
+			peak := 0
+			for _, p := range policies {
+				r := byCell[fmt.Sprintf("%s/%.2f/%s", machine, load, p)]
+				names = append(names, p.String())
+				p50s = append(p50s, r.P50)
+				p95s = append(p95s, r.P95)
+				p99s = append(p99s, r.P99)
+				p999s = append(p999s, r.P999)
+				if r.PeakRunnable > peak {
+					peak = r.PeakRunnable
+				}
+			}
+			entry.P50Sec = append(entry.P50Sec, p50s)
+			entry.P99Sec = append(entry.P99Sec, p99s)
+			entry.P999Sec = append(entry.P999Sec, p999s)
+			entry.PeakRunnable = append(entry.PeakRunnable, peak)
+			fmt.Printf("\n%s @ load %.2fx — sojourn quantiles (s), peak runnable %d\n", machine, load, peak)
+			fmt.Print(textplot.QuantileStrip(names, p50s, p95s, p99s, p999s, 48))
+		}
+		entries = append(entries, entry)
+	}
+
+	if breakdownOpts.out != "" {
+		err := benchhist.Append(breakdownOpts.out, benchhist.Entry{
+			Kind:      benchhist.KindServing,
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			MaxProcs:  runtime.GOMAXPROCS(0),
+			Serving:   entries,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nappended serving entry to %s\n", breakdownOpts.out)
 	}
 	return nil
 }

@@ -7,7 +7,8 @@
 // Coordinator:
 //
 //	sweepd -coordinator [-addr 127.0.0.1:7077]
-//	       [-campaign showdown|grid|window|breakdown] [-machine quad|tri|hex]
+//	       [-campaign showdown|grid|window|breakdown|serving]
+//	       [-machine quad|tri|hex]
 //	       [-quick] [-slots N] [-duration SEC] [-seeds a,b,c]
 //	       [-chunk N] [-lease-ttl 30s] [-spawn N] [-verify] [-out FILE]
 //
@@ -53,8 +54,8 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7077", "coordinator listen address")
 		connect     = flag.String("connect", "", "coordinator URL (worker mode)")
 		name        = flag.String("name", "", "worker label")
-		campaign    = flag.String("campaign", "showdown", "campaign to serve: showdown|grid|window|breakdown")
-		machineFlag = flag.String("machine", "quad", "showdown machine: quad|tri|hex")
+		campaign    = flag.String("campaign", "showdown", "campaign to serve: showdown|grid|window|breakdown|serving")
+		machineFlag = flag.String("machine", "quad", "campaign machine: quad|tri|hex")
 		quick       = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		slots       = flag.Int("slots", 0, "workload slots (0 = default)")
 		duration    = flag.Float64("duration", 0, "workload duration in simulated seconds (0 = default)")
@@ -161,8 +162,14 @@ func buildCampaign(o coordOpts, cfg experiments.Config) (dist.Campaign, error) {
 			return dist.Campaign{}, err
 		}
 		return experiments.BreakdownCampaign(cfg, m, nil, nil), nil
+	case "serving":
+		m, err := parseMachine(o.machine)
+		if err != nil {
+			return dist.Campaign{}, err
+		}
+		return experiments.ServingCampaign(cfg, m), nil
 	}
-	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window|breakdown)", o.campaign)
+	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window|breakdown|serving)", o.campaign)
 }
 
 func runCoordinator(o coordOpts) error {

@@ -34,12 +34,21 @@ func (s *Session) campaign(specs []RunSpec) (dist.Campaign, error) {
 	}
 	camp.Specs = make([]dist.Spec, len(specs))
 	for i, spec := range specs {
-		if spec.Workload != nil || spec.Queues == nil {
+		queues := spec.Queues
+		if spec.Arrivals != nil {
+			if spec.Workload != nil || queues != nil {
+				return dist.Campaign{}, fmt.Errorf("spec %d: RunSpec.Arrivals is mutually exclusive with Workload and Queues", i)
+			}
+			// Arrivals specs are serializable by construction: lower them to
+			// the same wire form RunContext resolves them to.
+			queues = &WorkloadSpec{Seed: spec.Seed, Arrivals: spec.Arrivals}
+		}
+		if spec.Workload != nil || queues == nil {
 			return dist.Campaign{}, fmt.Errorf("spec %d: %w", i, ErrNeedQueues)
 		}
 		mode, params, tcfg, ocfg, pcfg := s.resolve(spec)
 		camp.Specs[i] = dist.Spec{
-			Queues:      *spec.Queues,
+			Queues:      *queues,
 			DurationSec: spec.DurationSec,
 			Mode:        mode,
 			Params:      params,

@@ -90,6 +90,58 @@ func TestHybridShardedCampaignGolden(t *testing.T) {
 	}
 }
 
+// TestServingShardedCampaignGolden pins the open-system serving form's
+// fabric contract: Arrivals specs — fleet, arrival schedule, and per-job
+// seeds regenerated on each worker, overcommit dispatcher rebuilt from the
+// environment — shard and merge byte-identically to sequential RunContext
+// runs of the same specs. This is what lets sweepd workers split a serving
+// campaign.
+func TestServingShardedCampaignGolden(t *testing.T) {
+	machine := phasetune.QuadAMP()
+	newSess := func() *phasetune.Session {
+		return phasetune.NewSession(
+			phasetune.WithMachine(machine),
+			phasetune.WithOvercommit(phasetune.OvercommitConfig{Enabled: true}),
+		)
+	}
+	var specs []phasetune.RunSpec
+	for _, seed := range []uint64{3, 9} {
+		for _, policy := range []phasetune.Policy{phasetune.PolicyNone, phasetune.PolicyHybrid} {
+			arr := phasetune.ServingArrivals(machine, phasetune.ArrivalPoisson, 1.2, 6)
+			specs = append(specs, phasetune.RunSpec{
+				Arrivals: &arr, DurationSec: 8, Policy: policy, Seed: seed,
+			})
+		}
+	}
+	sess := newSess()
+	var want []string
+	overcommitted := false
+	for _, spec := range specs {
+		res, err := sess.RunContext(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PeakRunnable > len(machine.Cores) {
+			overcommitted = true
+		}
+		want = append(want, string(encode(t, res)))
+	}
+	if !overcommitted {
+		t.Error("no serving run ever exceeded the core count at 1.2x load")
+	}
+	for _, shards := range []int{2, 3} {
+		got, err := newSess().SweepSharded(context.Background(), specs, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := range got {
+			if string(encode(t, got[i])) != want[i] {
+				t.Errorf("shards=%d: serving spec %d differs from sequential run", shards, i)
+			}
+		}
+	}
+}
+
 // TestSweepShardedRejectsBuiltWorkloads: specs that cannot cross a process
 // boundary are rejected up front.
 func TestSweepShardedRejectsBuiltWorkloads(t *testing.T) {

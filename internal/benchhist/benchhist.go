@@ -28,6 +28,8 @@ const (
 	KindBench = ""
 	// KindBreakdown marks a misprediction-cost breakdown-map entry.
 	KindBreakdown = "breakdown"
+	// KindServing marks an open-system serving latency entry.
+	KindServing = "serving"
 )
 
 // Benchmark is one recorded timing measurement.
@@ -60,12 +62,35 @@ type Breakdown struct {
 	TolerancePct float64 `json:"tolerance_pct,omitempty"`
 }
 
+// Serving is one machine's open-system latency summary: exact sojourn
+// quantiles over the (offered load × placement policy) grid
+// (experiments.Serving). Latency entries are data, not timings: the
+// -history regression gate compares benchmark timings only and must never
+// trip on a serving entry.
+type Serving struct {
+	// Machine is the machine name.
+	Machine string `json:"machine"`
+	// Loads is the offered-load axis in multiples of machine capacity.
+	Loads []float64 `json:"loads"`
+	// Policies is the placement-policy axis, in column order.
+	Policies []string `json:"policies"`
+	// P50Sec, P99Sec, and P999Sec are sojourn-time quantiles in seconds,
+	// indexed [load][policy].
+	P50Sec  [][]float64 `json:"p50_sec"`
+	P99Sec  [][]float64 `json:"p99_sec"`
+	P999Sec [][]float64 `json:"p999_sec"`
+	// PeakRunnable is the maximum simultaneously live task count per load
+	// (max across policies and seeds) — the overcommit evidence.
+	PeakRunnable []int `json:"peak_runnable"`
+}
+
 // Entry is one producer invocation.
 type Entry struct {
 	Schema string `json:"schema,omitempty"`
 	// Kind discriminates the payload: "" = benchmark timings (Benchmarks,
-	// Derived), "breakdown" = breakdown maps (Breakdown). Consumers must
-	// treat unknown kinds as data to be surfaced, not silently dropped.
+	// Derived), "breakdown" = breakdown maps (Breakdown), "serving" =
+	// serving latency summaries (Serving). Consumers must treat unknown
+	// kinds as data to be surfaced, not silently dropped.
 	Kind       string             `json:"kind,omitempty"`
 	Timestamp  string             `json:"timestamp,omitempty"`
 	GoVersion  string             `json:"go_version,omitempty"`
@@ -74,6 +99,7 @@ type Entry struct {
 	Benchmarks []Benchmark        `json:"benchmarks,omitempty"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
 	Breakdown  []Breakdown        `json:"breakdown,omitempty"`
+	Serving    []Serving          `json:"serving,omitempty"`
 }
 
 // History is the file format: one entry per invocation, oldest first.

@@ -56,8 +56,12 @@ import (
 // placement engine); v2 added Spec.Placement and the hybrid mode; v3 added
 // the alternation-rate workload axis (workload.Spec.Alternations) and the
 // hybrid's drift-damping knob (online.HybridConfig.Drift), both of which
-// change run results and result encodings (online.Stats.Damped).
-const SpecVersion = 3
+// change run results and result encodings (online.Stats.Damped); v4 added
+// the open-system serving form (workload.Spec.Arrivals lowering to a
+// stream run, osched.Config.Overcommit in the environment) and the
+// overcommit fields in result encodings (sim.Result.PeakRunnable,
+// OvercommitSlices).
+const SpecVersion = 4
 
 // EnvSpec is the serialized session environment: everything a worker needs
 // to rebuild the simulation stack that is shared by every run of a
@@ -103,10 +107,12 @@ func (e *EnvSpec) Suite() ([]*workload.Benchmark, error) {
 // caches, hooks). The workload travels as its construction parameters
 // (workload.Spec); together with an EnvSpec it lowers to a RunConfig.
 type Spec struct {
-	// Queues describes the workload by construction — a suite draw, or,
-	// when Queues.Alternations > 0, the synthetic alternation-rate axis
-	// (the worker regenerates the alternator from the environment's cost
-	// model and machine exactly as it regenerates the suite).
+	// Queues describes the workload by construction — a suite draw; the
+	// synthetic alternation-rate axis when Queues.Alternations > 0; or the
+	// open-system serving form when Queues.Arrivals is set (the worker
+	// regenerates the alternator fleet, serving fleet, and arrival
+	// schedule from the environment's cost model and machine exactly as it
+	// regenerates the suite).
 	Queues workload.Spec `json:"queues"`
 	// DurationSec is the run length in simulated seconds.
 	DurationSec float64 `json:"duration_sec"`
@@ -136,13 +142,24 @@ func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.Imag
 	m := e.Machine
 	cost := e.Cost
 	sched := e.Sched
-	w, err := sp.Queues.Materialize(suite, cost, &m)
+	var w *workload.Workload
+	var stream *workload.Stream
+	var err error
+	if sp.Queues.Arrivals != nil {
+		// Open-system serving spec: the worker regenerates the serving
+		// fleet and the arrival schedule from (cost, machine, spec, seed),
+		// both pure functions, exactly as it regenerates the suite.
+		stream, err = sp.Queues.MaterializeOpen(cost, &m)
+	} else {
+		w, err = sp.Queues.Materialize(suite, cost, &m)
+	}
 	if err != nil {
 		return sim.RunConfig{}, fmt.Errorf("dist: materialize workload: %w", err)
 	}
 	return sim.RunConfig{
 		Machine: &m, Cost: &cost, Sched: &sched,
 		Workload:    w,
+		Stream:      stream,
 		DurationSec: sp.DurationSec,
 		Mode:        sp.Mode,
 		Params:      sp.Params,

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the exact q-quantile of xs under the nearest-rank
+// definition: the smallest element whose rank is at least ceil(q*n). For
+// the job counts serving runs produce (hundreds to tens of thousands) this
+// is the standard exact percentile — no interpolation, every returned
+// value is an observed sojourn time. q <= 0 returns the minimum, q >= 1
+// the maximum; an empty input returns NaN. (BoxStats keeps its separate
+// interpolating quantile: box plots follow the paper's figure convention.)
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the nearest-rank quantile for each q, sorting once.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// SojournTimes returns the sojourn (flow) time of every completed task, in
+// task order — the latency sample serving experiments feed to Quantiles.
+// Incomplete tasks are excluded: they have no completion time, and the
+// serving protocol bounds their effect by draining admissions before the
+// run horizon.
+func SojournTimes(tasks []TaskStat) []float64 {
+	var out []float64
+	for _, t := range tasks {
+		if t.Completed() {
+			out = append(out, t.FlowSec())
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileGolden pins the nearest-rank definition on a known stream:
+// 1..100 has exact percentiles with no interpolation ambiguity.
+func TestQuantileGolden(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // unsorted input: Quantile must sort
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50},
+		{0.95, 95},
+		{0.99, 99},
+		{0.999, 100},
+		{0, 1},
+		{1, 100},
+	} {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Errorf("Quantile(1..100, %g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilesMatchesSingleCalls(t *testing.T) {
+	xs := []float64{3.5, 1.25, 9, 2, 7.75}
+	qs := []float64{0.1, 0.5, 0.9, 0.999}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("Quantiles[%d] = %g, Quantile(%g) = %g", i, got[i], q, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty Quantile is not NaN")
+	}
+	for _, v := range Quantiles(nil, 0.5, 0.99) {
+		if !math.IsNaN(v) {
+			t.Error("empty Quantiles element is not NaN")
+		}
+	}
+	if got := Quantile([]float64{42}, 0.999); got != 42 {
+		t.Errorf("single-element quantile = %g", got)
+	}
+}
+
+func TestSojournTimes(t *testing.T) {
+	tasks := []TaskStat{
+		{Name: "a", ArrivalSec: 0, CompletionSec: 10},  // sojourn 10
+		{Name: "b", ArrivalSec: 5, CompletionSec: 30},  // sojourn 25
+		{Name: "c", ArrivalSec: 10, CompletionSec: -1}, // unfinished: dropped
+	}
+	soj := SojournTimes(tasks)
+	if len(soj) != 2 || soj[0] != 10 || soj[1] != 25 {
+		t.Errorf("SojournTimes = %v, want [10 25]", soj)
+	}
+	if got := SojournTimes(nil); len(got) != 0 {
+		t.Errorf("empty SojournTimes = %v", got)
+	}
+}

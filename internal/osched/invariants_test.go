@@ -3,6 +3,7 @@ package osched
 import (
 	"testing"
 
+	"phasetune/internal/amp"
 	"phasetune/internal/exec"
 )
 
@@ -94,6 +95,126 @@ func TestAffinityAlwaysRespected(t *testing.T) {
 	}
 	if err := k.RunUntilDone(1e7); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// overcommitKernel builds a quad kernel with the proportional-share
+// overcommit dispatcher enabled.
+func overcommitKernel(t *testing.T) *Kernel {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Overcommit.Enabled = true
+	k, err := NewKernel(amp.Quad2Fast2Slow(), exec.DefaultCostModel(), cfg)
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	return k
+}
+
+// TestOvercommitNoCoreRunsTwoTasks: under heavy oversubscription with
+// shortened slices, each core's bursts must still never overlap in
+// simulated time — time multiplexing shares the core, it never doubles it.
+func TestOvercommitNoCoreRunsTwoTasks(t *testing.T) {
+	k := overcommitKernel(t)
+	for i := 0; i < 16; i++ {
+		spawnProg(t, k, computeProgram(800), uint64(i+1))
+	}
+	lastEnd := map[int]int64{}
+	k.TraceBurst = func(core int, task *Task, cycles, startPs, endPs int64) {
+		if startPs < lastEnd[core] {
+			t.Fatalf("core %d burst starts at %d before previous ends at %d",
+				core, startPs, lastEnd[core])
+		}
+		lastEnd[core] = endPs
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+	if k.OvercommitSlices() == 0 {
+		t.Error("16 tasks on 4 cores produced no shortened slices")
+	}
+}
+
+// TestOvercommitEveryJobCompletesUnderCapacity: jobs arriving under total
+// capacity (staggered admissions, short programs) must all run to
+// completion — overcommit time-multiplexes transients, it never starves.
+func TestOvercommitEveryJobCompletesUnderCapacity(t *testing.T) {
+	k := overcommitKernel(t)
+	var tasks []*Task
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(SecToPs(float64(i)*0.002), func(k *Kernel) {
+			img, err := exec.NewImage(computeProgram(400), nil, k.Cost)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proc := exec.NewProcess(k.NextPID(), img, &k.Cost, uint64(i+1), nil)
+			tasks = append(tasks, k.Spawn(proc, "staggered", i, 0))
+		})
+	}
+	k.Run(0.05) // fire all admission timers
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 10 {
+		t.Fatalf("admitted %d tasks, want 10", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.State != TaskExited {
+			t.Errorf("task %d state = %v, want exited", i, task.State)
+		}
+	}
+	if k.PeakLive() < 5 {
+		t.Errorf("peak live %d never exceeded the 4 cores", k.PeakLive())
+	}
+}
+
+// TestOvercommitScaleInvariant: the per-type scale factor stays in (0, 1],
+// and whenever a type is oversubscribed, demand × scale never exceeds its
+// core count — the proportional-share capacity invariant, checked at every
+// burst boundary of a loaded run.
+func TestOvercommitScaleInvariant(t *testing.T) {
+	k := overcommitKernel(t)
+	for i := 0; i < 12; i++ {
+		spawnProg(t, k, memoryProgram(120), uint64(i+1))
+	}
+	types := len(k.Machine.Types)
+	k.TraceBurst = func(core int, task *Task, cycles, startPs, endPs int64) {
+		for typ := 0; typ < types; typ++ {
+			f := k.OvercommitScale(amp.CoreTypeID(typ))
+			if !(f > 0 && f <= 1) {
+				t.Fatalf("type %d scale %g out of (0,1]", typ, f)
+			}
+			demand := k.RunnableOfType(amp.CoreTypeID(typ))
+			capacity := len(k.Machine.CoresOfType(amp.CoreTypeID(typ)))
+			if shares := float64(demand) * f; shares > float64(capacity)+1e-9 {
+				t.Fatalf("type %d: %d runnable × scale %g = %g shares on %d cores",
+					typ, demand, f, shares, capacity)
+			}
+		}
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOvercommitDisabledChargesNothing: with the dispatcher off, the same
+// oversubscribed workload must shorten zero slices — the config gate, and
+// the guarantee that closed-system runs are untouched by the subsystem.
+func TestOvercommitDisabledChargesNothing(t *testing.T) {
+	k := newKernel(t)
+	for i := 0; i < 12; i++ {
+		spawnProg(t, k, computeProgram(400), uint64(i+1))
+	}
+	if err := k.RunUntilDone(1e7); err != nil {
+		t.Fatal(err)
+	}
+	if n := k.OvercommitSlices(); n != 0 {
+		t.Errorf("disabled overcommit shortened %d slices", n)
+	}
+	if k.PeakLive() != 12 {
+		t.Errorf("peak live %d, want 12", k.PeakLive())
 	}
 }
 

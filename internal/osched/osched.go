@@ -68,6 +68,33 @@ type Config struct {
 	// concurrent per-process event sets are effectively unbounded; the
 	// bounded mode exists for the counter-contention ablation.
 	CounterSlots int
+	// Overcommit configures the proportional-share dispatcher used by
+	// open-system serving runs, where runnable tasks can exceed cores.
+	Overcommit OvercommitConfig
+}
+
+// OvercommitConfig parameterizes the proportional-share dispatcher — the
+// hypervisor-scheduler two-phase idiom adapted to the O(1) kernel. Phase 1
+// computes a demand/capacity scale factor per core type (Kernel.
+// OvercommitScale): with d runnable tasks contending for c cores of a
+// type, each task's fair share of a scheduling round is c/d of a full
+// timeslice. Phase 2 turns the fractional share into a concrete bounded
+// execution slice at dispatch time: the quantum shrinks to
+// TimesliceSec * c/d (floored at MinSliceSec), so d tasks time-multiplex
+// through c cores with per-type shares summing to exactly the type's
+// capacity. Placement policies compose unchanged — overcommit only
+// shortens slices, never overrides affinity — and the extra slice
+// boundaries charge context-switch cost through the existing
+// Config.ContextSwitchCycles path, so "overcommit costs switching time"
+// is part of the simulation.
+type OvercommitConfig struct {
+	// Enabled turns on slice scaling. Off, the kernel behaves exactly as
+	// before: oversubscribed cores round-robin full timeslices.
+	Enabled bool
+	// MinSliceSec floors the scaled slice so extreme overcommit cannot
+	// degenerate into pure context-switch thrash. Non-positive defaults to
+	// TimesliceSec/8.
+	MinSliceSec float64
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -161,6 +188,7 @@ const (
 	evBalance
 	evSample
 	evMonitor
+	evTimer
 )
 
 type event struct {
@@ -169,6 +197,7 @@ type event struct {
 	kind evKind
 	core int
 	task *Task
+	fn   func(*Kernel) // evTimer callback
 }
 
 type eventHeap []event
@@ -233,6 +262,11 @@ type Kernel struct {
 	live    int
 	nextPID int
 
+	typeCores []int // cores per core type (overcommit capacity)
+	runnable  []int // live tasks per core type (queued or in a burst)
+	peakLive  int
+	ocSlices  uint64
+
 	totalInstr uint64
 	samples    []Sample
 	sampling   bool
@@ -253,8 +287,11 @@ func NewKernel(m *amp.Machine, cost exec.CostModel, cfg Config) (*Kernel, error)
 		Cache:    cache.New(m),
 		params:   exec.ParamsFor(cost, m),
 	}
+	k.typeCores = make([]int, len(m.Types))
+	k.runnable = make([]int, len(m.Types))
 	for _, c := range m.Cores {
 		k.cores = append(k.cores, coreState{id: c.ID, typ: c.Type, l2: c.L2})
+		k.typeCores[c.Type]++
 	}
 	return k, nil
 }
@@ -313,6 +350,9 @@ func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) 
 	}
 	k.tasks = append(k.tasks, t)
 	k.live++
+	if k.live > k.peakLive {
+		k.peakLive = k.live
+	}
 	k.enqueue(t, k.pickCore(t, -1))
 	return t
 }
@@ -362,6 +402,14 @@ func (k *Kernel) enqueue(t *Task, core int) {
 			core = target
 		}
 	}
+	// Per-type runnable accounting (overcommit demand). Every placement
+	// change funnels through enqueue, so moving the count with the task
+	// keeps runnable[typ] equal to the live tasks queued on or running on
+	// cores of that type.
+	if t.core >= 0 {
+		k.runnable[k.cores[t.core].typ]--
+	}
+	k.runnable[k.cores[core].typ]++
 	t.core = core
 	t.State = TaskReady
 	cs := &k.cores[core]
@@ -459,7 +507,27 @@ func (k *Kernel) handle(e event) {
 			k.Monitor.OnTick(k, k.nowPs)
 		}
 		k.push(k.nowPs+SecToPs(k.Config.MonitorIntervalSec), evMonitor, -1)
+	case evTimer:
+		if e.fn != nil {
+			e.fn(k)
+		}
 	}
+}
+
+// At schedules fn to run inside the event loop at the given simulated
+// time (clamped to now if in the past). Timers interleave with kernel
+// events deterministically through the (time, sequence) heap order, and
+// the clock is advanced before the callback fires, so a Spawn from a timer
+// stamps the task's arrival at exactly the timer's instant — which is how
+// open-system run drivers admit jobs (sim's arrival schedule). Pending
+// timers do not count as live tasks: RunUntilDone returns once tasks are
+// drained even if future timers remain queued.
+func (k *Kernel) At(ps int64, fn func(*Kernel)) {
+	if ps < k.nowPs {
+		ps = k.nowPs
+	}
+	k.seq++
+	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: evTimer, fn: fn})
 }
 
 // ensurePeriodicEvents seeds the balance and sample events once.
@@ -491,6 +559,27 @@ func (k *Kernel) dispatch(core int) {
 
 	par := &k.params[cs.typ]
 	sliceCycles := int64(k.Config.TimesliceSec * par.CyclesPerSec)
+	if k.Config.Overcommit.Enabled {
+		// Phase 2 of the overcommit dispatcher: turn the fractional share
+		// into a bounded execution slice. The shortened quantum produces
+		// more slice boundaries, each charging ContextSwitchCycles below —
+		// the switching cost of time-multiplexing is paid, not assumed away.
+		if f := k.OvercommitScale(cs.typ); f < 1 {
+			minSec := k.Config.Overcommit.MinSliceSec
+			if minSec <= 0 {
+				minSec = k.Config.TimesliceSec / 8
+			}
+			scaled := int64(float64(sliceCycles) * f)
+			if min := int64(minSec * par.CyclesPerSec); scaled < min {
+				scaled = min
+			}
+			if scaled < 1 {
+				scaled = 1
+			}
+			sliceCycles = scaled
+			k.ocSlices++
+		}
+	}
 
 	var used int64
 	// Switch penalties accrued earlier (migration) and context switching.
@@ -554,6 +643,7 @@ func (k *Kernel) dispatch(core int) {
 	case exited:
 		t.State = TaskExited
 		t.CompletionPs = end
+		k.runnable[cs.typ]--
 		t.core = -1
 		k.live--
 		if k.OnExit != nil {
@@ -665,6 +755,34 @@ func (k *Kernel) Penalize(t *Task, cycles int64) {
 		t.pendingCycles += cycles
 	}
 }
+
+// OvercommitScale is phase 1 of the proportional-share dispatcher: the
+// demand/capacity scale factor for a core type. With d runnable (live,
+// non-exited) tasks on cores of the type and c cores of the type, the
+// factor is min(1, c/d): each task's fair share of a scheduling round.
+// Scaled shares sum to min(d, c) full-core equivalents, so per-type shares
+// never exceed the type's capacity.
+func (k *Kernel) OvercommitScale(typ amp.CoreTypeID) float64 {
+	demand := k.runnable[typ]
+	capacity := k.typeCores[typ]
+	if demand <= capacity || demand == 0 {
+		return 1
+	}
+	return float64(capacity) / float64(demand)
+}
+
+// RunnableOfType returns the live tasks currently queued on or running on
+// cores of the type — the demand side of OvercommitScale.
+func (k *Kernel) RunnableOfType(typ amp.CoreTypeID) int { return k.runnable[typ] }
+
+// PeakLive returns the maximum number of simultaneously live tasks seen so
+// far — the "max runnable" the serving experiments use to demonstrate a
+// run actually exercised overcommit (peak > cores).
+func (k *Kernel) PeakLive() int { return k.peakLive }
+
+// OvercommitSlices returns how many dispatch slices were shortened by the
+// overcommit dispatcher.
+func (k *Kernel) OvercommitSlices() uint64 { return k.ocSlices }
 
 // QueueLengths returns per-core run-queue lengths (diagnostics).
 func (k *Kernel) QueueLengths() []int {

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"phasetune/internal/amp"
+	"phasetune/internal/metrics"
+	"phasetune/internal/sim"
+	"phasetune/internal/workload"
+)
+
+func TestCapacityQuad(t *testing.T) {
+	// 2×2.4 GHz + 2×1.6 GHz = 2 + 2×(1.6/2.4) = 10/3 fast-core equivalents.
+	got := Capacity(amp.Quad2Fast2Slow())
+	if math.Abs(got-10.0/3.0) > 1e-9 {
+		t.Errorf("quad capacity = %g, want %g", got, 10.0/3.0)
+	}
+	// A symmetric machine's capacity is its core count.
+	if got := Capacity(amp.Symmetric(4, 2.0)); math.Abs(got-4) > 1e-9 {
+		t.Errorf("symmetric capacity = %g, want 4", got)
+	}
+}
+
+func TestOfferedRateScalesWithLoad(t *testing.T) {
+	m := amp.Quad2Fast2Slow()
+	r1 := OfferedRate(m, 1.0)
+	if want := Capacity(m) / workload.ServingMeanServiceSec(); math.Abs(r1-want) > 1e-9 {
+		t.Errorf("rate at 1.0x = %g, want %g", r1, want)
+	}
+	if r2 := OfferedRate(m, 2.0); math.Abs(r2-2*r1) > 1e-9 {
+		t.Errorf("rate not linear in load: %g vs 2×%g", r2, r1)
+	}
+}
+
+func TestArrivalsSpecWiring(t *testing.T) {
+	m := amp.Quad2Fast2Slow()
+	arr := Arrivals(m, workload.Bursty, 1.25, 30)
+	if arr.Kind != workload.Bursty || arr.HorizonSec != 30 {
+		t.Errorf("Arrivals = %+v", arr)
+	}
+	if want := OfferedRate(m, 1.25); arr.RatePerSec != want {
+		t.Errorf("rate %g, want %g", arr.RatePerSec, want)
+	}
+	if err := arr.Validate(); err != nil {
+		t.Errorf("built spec invalid: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := &sim.Result{
+		Tasks: []metrics.TaskStat{
+			{Name: "a", ArrivalSec: 0, CompletionSec: 1},  // sojourn 1
+			{Name: "b", ArrivalSec: 1, CompletionSec: 4},  // sojourn 3
+			{Name: "c", ArrivalSec: 2, CompletionSec: 10}, // sojourn 8
+			{Name: "d", ArrivalSec: 3, CompletionSec: -1}, // in flight
+		},
+		PeakRunnable:     7,
+		OvercommitSlices: 42,
+	}
+	st := Summarize(res)
+	if st.Admitted != 4 || st.Completed != 3 {
+		t.Errorf("admitted/completed = %d/%d", st.Admitted, st.Completed)
+	}
+	if st.P50 != 3 || st.P999 != 8 || st.MaxSojournSec != 8 {
+		t.Errorf("quantiles p50=%g p999=%g max=%g", st.P50, st.P999, st.MaxSojournSec)
+	}
+	if math.Abs(st.MeanSojournSec-4) > 1e-9 {
+		t.Errorf("mean = %g, want 4", st.MeanSojournSec)
+	}
+	if st.PeakRunnable != 7 || st.OvercommitSlices != 42 {
+		t.Errorf("overcommit evidence lost: %+v", st)
+	}
+	// No completions: quantiles are NaN, counts still reported.
+	empty := Summarize(&sim.Result{Tasks: []metrics.TaskStat{{Name: "x", CompletionSec: -1}}})
+	if empty.Admitted != 1 || empty.Completed != 0 || !math.IsNaN(empty.P50) {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

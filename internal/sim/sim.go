@@ -80,8 +80,16 @@ type RunConfig struct {
 	Cost *exec.CostModel
 	// Sched configures the scheduler; nil defaults.
 	Sched *osched.Config
-	// Workload supplies the slot queues.
+	// Workload supplies the slot queues (closed-system runs). Exactly one
+	// of Workload and Stream must be set.
 	Workload *workload.Workload
+	// Stream supplies an open-system arrival schedule instead of slot
+	// queues: jobs from the serving fleet are admitted at their arrival
+	// times via kernel timers, and each job's sojourn time is its
+	// admission-to-completion interval. Open runs usually enable
+	// Sched.Overcommit so demand beyond core supply time-multiplexes
+	// fairly.
+	Stream *workload.Stream
 	// DurationSec is the experiment length in simulated seconds.
 	DurationSec float64
 	// Mode selects baseline/tuned/overhead.
@@ -143,6 +151,14 @@ type Result struct {
 	Images map[string]ImageStats
 	// DurationSec echoes the configured duration.
 	DurationSec float64
+	// PeakRunnable is the maximum number of simultaneously live tasks the
+	// run reached. Closed runs peak at the slot count; open-system runs
+	// exceeding the core count demonstrably exercised overcommit.
+	PeakRunnable int
+	// OvercommitSlices counts dispatch slices the proportional-share
+	// dispatcher shortened (zero unless Sched.Overcommit is enabled and
+	// demand exceeded capacity).
+	OvercommitSlices uint64
 }
 
 // ImageStats summarizes one prepared image.
@@ -200,7 +216,14 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	if cfg.Sched != nil {
 		sched = *cfg.Sched
 	}
-	if cfg.Workload == nil || cfg.Workload.NumSlots() == 0 {
+	closed := cfg.Workload != nil && cfg.Workload.NumSlots() > 0
+	open := cfg.Stream != nil
+	switch {
+	case closed && open:
+		return nil, fmt.Errorf("sim: set exactly one of Workload and Stream, not both")
+	case open && len(cfg.Stream.Arrivals) == 0:
+		return nil, fmt.Errorf("sim: empty arrival stream")
+	case !closed && !open:
 		return nil, fmt.Errorf("sim: empty workload")
 	}
 	topts := cfg.TypingOpts
@@ -229,7 +252,13 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	images := map[*workload.Benchmark]*exec.Image{}
 	oracleMasks := map[*exec.Image]map[phase.Type]uint64{}
 	res := &Result{Images: map[string]ImageStats{}, DurationSec: cfg.DurationSec}
-	for _, slot := range cfg.Workload.Slots {
+	benchGroups := [][]*workload.Benchmark{}
+	if closed {
+		benchGroups = cfg.Workload.Slots
+	} else {
+		benchGroups = append(benchGroups, cfg.Stream.Fleet)
+	}
+	for _, slot := range benchGroups {
 		for _, b := range slot {
 			if _, ok := images[b]; ok {
 				continue
@@ -296,48 +325,71 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		spillEng = place.NewEngine(machine, tcfg.Delta, pcfg)
 	}
 
-	// Per-slot queue positions; spawn the next job of a slot on completion.
-	positions := make([]int, cfg.Workload.NumSlots())
-	seeds := rng.New(cfg.Seed)
-	slotSeeds := make([]*rng.Source, cfg.Workload.NumSlots())
-	for i := range slotSeeds {
-		slotSeeds[i] = seeds.Split()
-	}
-
-	spawnNext := func(k *osched.Kernel, slot int) {
-		q := cfg.Workload.Slots[slot]
-		if positions[slot] >= len(q) {
-			return // queue drained
-		}
-		b := q[positions[slot]]
-		positions[slot]++
-		img := images[b]
-		var hook exec.MarkHook
+	// The hook choice is per-process and mode-dependent; the closed slot
+	// driver and the open arrival driver build hooks identically.
+	mkHook := func(k *osched.Kernel, img *exec.Image) exec.MarkHook {
 		switch {
 		case factory != nil:
-			hook = factory(k, img)
+			return factory(k, img)
 		case cfg.Mode == Tuned || cfg.Mode == Overhead:
 			t := tuning.NewTuner(tcfg, machine, k.Hardware, img)
 			if spillEng != nil {
 				t.SetEngine(spillEng)
 			}
-			hook = t
+			return t
 		case cfg.Mode == Oracle:
-			hook = online.NewOracleHook(img, oracleMasks[img])
+			return online.NewOracleHook(img, oracleMasks[img])
 		case cfg.Mode == Hybrid:
-			hook = hybrid.Hook(img)
+			return hybrid.Hook(img)
 		}
-		p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, slotSeeds[slot].Uint64(), hook)
-		k.Spawn(p, b.Name(), slot, 0)
+		return nil
 	}
 
-	kernel.OnExit = func(k *osched.Kernel, t *osched.Task) {
-		if t.Slot >= 0 {
-			spawnNext(k, t.Slot)
+	if closed {
+		// Per-slot queue positions; spawn the next job of a slot on
+		// completion.
+		positions := make([]int, cfg.Workload.NumSlots())
+		seeds := rng.New(cfg.Seed)
+		slotSeeds := make([]*rng.Source, cfg.Workload.NumSlots())
+		for i := range slotSeeds {
+			slotSeeds[i] = seeds.Split()
 		}
-	}
-	for slot := range cfg.Workload.Slots {
-		spawnNext(kernel, slot)
+		spawnNext := func(k *osched.Kernel, slot int) {
+			q := cfg.Workload.Slots[slot]
+			if positions[slot] >= len(q) {
+				return // queue drained
+			}
+			b := q[positions[slot]]
+			positions[slot]++
+			img := images[b]
+			p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, slotSeeds[slot].Uint64(), mkHook(k, img))
+			k.Spawn(p, b.Name(), slot, 0)
+		}
+		kernel.OnExit = func(k *osched.Kernel, t *osched.Task) {
+			if t.Slot >= 0 {
+				spawnNext(k, t.Slot)
+			}
+		}
+		for slot := range cfg.Workload.Slots {
+			spawnNext(kernel, slot)
+		}
+	} else {
+		// Open system: admit each arrival at its timestamp via a kernel
+		// timer. Process seeds are drawn in arrival order from the run seed
+		// and Slot records the arrival index, so compared policies run the
+		// same jobs with the same branch seeds — the open-system analogue of
+		// the paper's "the same queues were used for each experiment".
+		seeds := rng.New(cfg.Seed)
+		for i, a := range cfg.Stream.Arrivals {
+			b := cfg.Stream.Fleet[a.Fleet]
+			img := images[b]
+			seed := seeds.Uint64()
+			idx := i
+			kernel.At(osched.SecToPs(a.AtSec), func(k *osched.Kernel) {
+				p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, seed, mkHook(k, img))
+				k.Spawn(p, b.Name(), idx, 0)
+			})
+		}
 	}
 
 	if kernel.RunCancellable(cfg.DurationSec, func() bool { return ctx.Err() != nil }) {
@@ -369,6 +421,8 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	}
 	res.TotalInstructions = kernel.TotalInstructions()
 	res.CounterDefers = kernel.Hardware.Defers()
+	res.PeakRunnable = kernel.PeakLive()
+	res.OvercommitSlices = kernel.OvercommitSlices()
 	if monitor != nil {
 		stats := monitor.Stats()
 		res.Online = &stats

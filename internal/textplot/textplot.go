@@ -116,6 +116,66 @@ func BoxPlot(names []string, mins, q1s, meds, q3s, maxs []float64, width int) st
 	return b.String()
 }
 
+// QuantileStrip renders latency quantiles on a shared horizontal axis, one
+// row per name: a '-' run from p50 to p999 with markers M (p50), o (p95),
+// * (p99), and # (p999). NaN rows (no completed jobs) render "(no samples)".
+//
+//	name  M---o--*------#  p50=1.20 p99=4.51 p999=7.80
+func QuantileStrip(names []string, p50s, p95s, p99s, p999s []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range names {
+		if math.IsNaN(p50s[i]) {
+			continue
+		}
+		lo = math.Min(lo, p50s[i])
+		hi = math.Max(hi, p999s[i])
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if math.IsNaN(p50s[i]) {
+			fmt.Fprintf(&b, "%-*s %-*s\n", nameW, n, width, "(no samples)")
+			continue
+		}
+		line := make([]byte, width)
+		for j := range line {
+			line[j] = ' '
+		}
+		p50, p95, p99, p999 := scale(p50s[i]), scale(p95s[i]), scale(p99s[i]), scale(p999s[i])
+		for j := p50; j <= p999; j++ {
+			line[j] = '-'
+		}
+		line[p50] = 'M'
+		line[p95] = 'o'
+		line[p99] = '*'
+		line[p999] = '#'
+		fmt.Fprintf(&b, "%-*s %s  p50=%.2f p99=%.2f p999=%.2f\n",
+			nameW, n, string(line), p50s[i], p99s[i], p999s[i])
+	}
+	return b.String()
+}
+
 // LogBars renders a log10-scale horizontal bar chart (Fig. 5 style). Zero
 // or negative values render as an empty bar.
 func LogBars(names []string, values []float64, width int) string {

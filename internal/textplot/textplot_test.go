@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -45,6 +46,39 @@ func TestBoxPlotDegenerate(t *testing.T) {
 	out := BoxPlot([]string{"flat"}, []float64{1}, []float64{1}, []float64{1}, []float64{1}, []float64{1}, 20)
 	if out == "" {
 		t.Error("empty output for degenerate box")
+	}
+}
+
+func TestQuantileStripMarksAndOrder(t *testing.T) {
+	out := QuantileStrip([]string{"dyn"}, []float64{1}, []float64{2}, []float64{3}, []float64{4}, 40)
+	for _, marker := range []string{"M", "o", "*", "#"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("marker %q missing in %q", marker, out)
+		}
+	}
+	if strings.Index(out, "M") > strings.Index(out, "#") {
+		t.Errorf("p50 marker right of p999 in %q", out)
+	}
+	if !strings.Contains(out, "p999=4.00") {
+		t.Errorf("p999 label missing in %q", out)
+	}
+}
+
+func TestQuantileStripNoSamples(t *testing.T) {
+	nan := math.NaN()
+	out := QuantileStrip([]string{"empty", "ok"},
+		[]float64{nan, 1}, []float64{nan, 1}, []float64{nan, 1}, []float64{nan, 1}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "(no samples)") {
+		t.Errorf("NaN row = %q", lines[0])
+	}
+	// Degenerate all-equal quantiles coincide; the p999 marker, drawn
+	// last, is what survives.
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("degenerate single-value row lost its markers: %q", lines[1])
 	}
 }
 

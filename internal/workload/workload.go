@@ -16,7 +16,7 @@
 // ScaleDivisor (bwaves capped), under the scaled simulation clock of
 // package amp; phase alternation counts follow the paper's switch counts
 // under the same divisor. Uniform scaling preserves every relative quantity
-// (see DESIGN.md §10).
+// (see DESIGN.md §11).
 //
 // Beyond the fixed suite, the package provides the synthetic
 // alternation-rate axis of the misprediction-cost breakdown (AltSpec,
@@ -666,6 +666,13 @@ type Spec struct {
 	// the fleet is generated against (cost, machine), which Build does not
 	// have.
 	Alternations int `json:"alternations,omitempty"`
+	// Arrivals, when non-nil, selects the open-system serving form instead
+	// of a closed slot-queue workload: jobs from the serving fleet arrive
+	// over time under the described process. Specs carrying it materialize
+	// through MaterializeOpen (to a Stream, not a Workload); Slots and
+	// QueueLen are unused. Seed drives both the arrival schedule and the
+	// per-process branch seeds.
+	Arrivals *ArrivalSpec `json:"arrivals,omitempty"`
 }
 
 // Build materializes the workload against a suite. It serves only the

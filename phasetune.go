@@ -68,6 +68,7 @@ import (
 	"phasetune/internal/phase"
 	"phasetune/internal/place"
 	"phasetune/internal/prog"
+	"phasetune/internal/serve"
 	"phasetune/internal/sim"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
@@ -275,6 +276,62 @@ func MaxFlow(tasks []TaskStat) float64 { return metrics.MaxFlow(tasks) }
 func MaxStretch(tasks []TaskStat, isolationSec map[string]float64) (float64, error) {
 	return metrics.MaxStretch(tasks, isolationSec)
 }
+
+// Open-system serving.
+type (
+	// ArrivalSpec describes an open-system arrival process (kind, rate,
+	// horizon); set it on RunSpec.Arrivals to run a serving workload.
+	ArrivalSpec = workload.ArrivalSpec
+	// ArrivalKind selects the arrival process family.
+	ArrivalKind = workload.ArrivalKind
+	// OvercommitConfig configures the scheduler's proportional-share
+	// overcommit dispatcher (see WithOvercommit).
+	OvercommitConfig = osched.OvercommitConfig
+	// ServingStats summarizes a serving run: admission/completion counts,
+	// exact sojourn quantiles, and overcommit evidence.
+	ServingStats = serve.Stats
+)
+
+// Arrival process kinds (ArrivalSpec.Kind).
+const (
+	// ArrivalPoisson is a homogeneous Poisson process.
+	ArrivalPoisson = workload.Poisson
+	// ArrivalBursty is a Markov-modulated on/off process: quiet floor,
+	// burst spikes, same long-run rate.
+	ArrivalBursty = workload.Bursty
+	// ArrivalDiurnal is a sinusoidally-modulated rate (a compressed
+	// day/night trace), realized by thinning.
+	ArrivalDiurnal = workload.Diurnal
+)
+
+// ParseArrivalKind resolves an arrival-kind name (as accepted by
+// cmd/ampsim -arrivals).
+func ParseArrivalKind(s string) (ArrivalKind, error) { return workload.ParseArrivalKind(s) }
+
+// MachineCapacity returns the machine's processing rate in fast-core
+// equivalents — the denominator of "offered load 1.0×".
+func MachineCapacity(m *Machine) float64 { return serve.Capacity(m) }
+
+// ServingArrivals builds the arrival spec realizing a load multiple of
+// machine capacity over an admission horizon, against the serving fleet's
+// mean service time. Run it with DurationSec comfortably past horizonSec.
+func ServingArrivals(m *Machine, kind ArrivalKind, load, horizonSec float64) ArrivalSpec {
+	return serve.Arrivals(m, kind, load, horizonSec)
+}
+
+// SummarizeServing condenses a serving run result into latency statistics.
+func SummarizeServing(res *RunResult) ServingStats { return serve.Summarize(res) }
+
+// SojournTimes returns completed jobs' sojourn (flow) times in seconds, the
+// sample stream serving quantiles are computed over.
+func SojournTimes(tasks []TaskStat) []float64 { return metrics.SojournTimes(tasks) }
+
+// Quantile returns the exact nearest-rank q-quantile of xs (NaN when
+// empty); Quantiles computes several at once, sorting only once.
+func Quantile(xs []float64, q float64) float64 { return metrics.Quantile(xs, q) }
+
+// Quantiles returns exact nearest-rank quantiles of xs at each q.
+func Quantiles(xs []float64, qs ...float64) []float64 { return metrics.Quantiles(xs, qs...) }
 
 // Experiments.
 type (

@@ -135,6 +135,18 @@ func WithCost(c CostModel) SessionOption { return func(s *Session) { s.cost = c 
 // WithScheduler sets the scheduler configuration (default: DefaultScheduler).
 func WithScheduler(sc SchedulerConfig) SessionOption { return func(s *Session) { s.sched = sc } }
 
+// WithOvercommit configures the scheduler's proportional-share overcommit
+// dispatcher (off by default). Open-system serving runs (RunSpec.Arrivals)
+// usually want it enabled so oversubscribed core types time-multiplex
+// fractional shares instead of starving the run queue tail:
+//
+//	sess := phasetune.NewSession(
+//	    phasetune.WithOvercommit(phasetune.OvercommitConfig{Enabled: true}),
+//	)
+func WithOvercommit(oc OvercommitConfig) SessionOption {
+	return func(s *Session) { s.sched.Overcommit = oc }
+}
+
 // WithTyping sets the static typing options (default: DefaultTyping).
 func WithTyping(t TypingOptions) SessionOption {
 	return func(s *Session) { s.typing = withTypingDefaults(t) }
@@ -212,7 +224,18 @@ type RunSpec struct {
 	// serializable, which is what distributed sweeps (Serve, SweepSharded)
 	// require.
 	Queues *WorkloadSpec
-	// DurationSec is the run length in simulated seconds.
+	// Arrivals switches the run to the open-system serving form: instead of
+	// constant-size slot queues, jobs from the serving fleet arrive under
+	// the described process (Poisson, bursty, diurnal) and the run reports
+	// per-job sojourn times. Mutually exclusive with Workload and Queues;
+	// Seed drives both the arrival schedule and per-job process seeds.
+	// Arrivals-based specs are serializable, so they shard (Serve,
+	// SweepSharded) like Queues-based ones. Open systems usually want the
+	// overcommit dispatcher on — see WithOvercommit.
+	Arrivals *ArrivalSpec
+	// DurationSec is the run length in simulated seconds. For arrivals
+	// runs, keep it comfortably past ArrivalSpec.HorizonSec so admitted
+	// jobs can drain.
 	DurationSec float64
 	// Policy selects the placement policy (none/static/dynamic/oracle).
 	// PolicyDefault inherits the session policy; when the session has none
@@ -284,11 +307,25 @@ func (s *Session) Suite() ([]*Benchmark, error) {
 func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 	mode, params, tcfg, ocfg, pcfg := s.resolve(spec)
 	w := spec.Workload
-	if w == nil && spec.Queues != nil {
+	var stream *workload.Stream
+	queues := spec.Queues
+	if spec.Arrivals != nil {
+		if w != nil || queues != nil {
+			return sim.RunConfig{}, fmt.Errorf("phasetune: RunSpec.Arrivals is mutually exclusive with Workload and Queues")
+		}
+		queues = &WorkloadSpec{Seed: spec.Seed, Arrivals: spec.Arrivals}
+	}
+	if w == nil && queues != nil && queues.Arrivals != nil {
+		var err error
+		stream, err = queues.MaterializeOpen(s.cost, s.machine)
+		if err != nil {
+			return sim.RunConfig{}, err
+		}
+	} else if w == nil && queues != nil {
 		// Alternation-axis specs (Queues.Alternations > 0) generate the
 		// synthetic alternator and never touch the suite.
 		var suite []*Benchmark
-		if spec.Queues.Alternations <= 0 {
+		if queues.Alternations <= 0 {
 			var err error
 			suite, err = s.Suite()
 			if err != nil {
@@ -296,7 +333,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 			}
 		}
 		var err error
-		w, err = spec.Queues.Materialize(suite, s.cost, s.machine)
+		w, err = queues.Materialize(suite, s.cost, s.machine)
 		if err != nil {
 			return sim.RunConfig{}, err
 		}
@@ -307,6 +344,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 	return sim.RunConfig{
 		Machine: s.machine, Cost: &cost, Sched: &sched,
 		Workload:    w,
+		Stream:      stream,
 		DurationSec: spec.DurationSec,
 		Mode:        mode,
 		Params:      params,
