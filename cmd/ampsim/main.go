@@ -11,6 +11,7 @@
 //	       [-duration 400] [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
 //	       [-technique loop] [-min 45] [-window 8000] [-alt N]
 //	       [-arrivals poisson|bursty|diurnal] [-load 1.0] [-progress]
+//	       [-trace out.json]
 //
 // -policy selects the placement policy (default static). -spill enables
 // capacity-aware spill arbitration in the static runtime (the shared
@@ -28,6 +29,13 @@
 // the report adds sojourn-time percentiles (p50/p95/p99/p999). All flag
 // combinations are validated up front — a bad one fails with a message
 // instead of silently running zero jobs.
+//
+// -trace writes a deterministic Chrome trace-event JSON timeline of the
+// run (per-core burst spans, per-task lifetimes, placement-decision
+// instants, runnable-depth counters) for Perfetto or chrome://tracing.
+// The path is created up front so a bad path fails before the run, and
+// tracing never perturbs the simulation: a traced run produces the same
+// Result as an untraced one.
 package main
 
 import (
@@ -61,6 +69,7 @@ func main() {
 	arrivals := flag.String("arrivals", "", "open-system serving: arrival process kind (poisson, bursty, or diurnal)")
 	load := flag.Float64("load", 1.0, "serving offered load in multiples of machine capacity (with -arrivals)")
 	progress := flag.Bool("progress", false, "print simulated-time progress")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this path")
 	flag.Parse()
 
 	loadSet := false
@@ -76,7 +85,7 @@ func main() {
 		machine: *machineFlag, delta: *delta, technique: *technique,
 		minSize: *minSize, window: *window, drift: *drift, alt: *alt,
 		arrivals: *arrivals, load: *load, loadSet: loadSet,
-		progress: *progress,
+		progress: *progress, trace: *tracePath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
 		os.Exit(1)
@@ -99,6 +108,7 @@ type options struct {
 	load                       float64
 	loadSet                    bool
 	progress                   bool
+	trace                      string
 }
 
 // validate rejects flag combinations that would otherwise run zero jobs (or
@@ -106,6 +116,9 @@ type options struct {
 func (o options) validate() error {
 	if !(o.duration > 0) {
 		return fmt.Errorf("-duration must be positive (a zero-duration run admits no jobs)")
+	}
+	if o.trace != "" && o.mode == "overhead" {
+		return fmt.Errorf("-trace does not support -mode overhead (isolation runs are untraced); pick a -policy instead")
 	}
 	if o.arrivals != "" {
 		if _, err := phasetune.ParseArrivalKind(o.arrivals); err != nil {
@@ -134,6 +147,16 @@ func (o options) validate() error {
 func run(o options) error {
 	if err := o.validate(); err != nil {
 		return err
+	}
+	// Validate the trace path up front: create/truncate it now so a bad
+	// path (missing directory, permissions) fails in milliseconds, not
+	// after minutes of simulation.
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		f.Close()
 	}
 	var machine *phasetune.Machine
 	switch o.machine {
@@ -257,6 +280,11 @@ func run(o options) error {
 		// Open systems run oversubscribed by design.
 		sessOpts = append(sessOpts, phasetune.WithOvercommit(phasetune.OvercommitConfig{Enabled: true}))
 	}
+	var tracer *phasetune.Tracer
+	if o.trace != "" {
+		tracer = phasetune.NewTracer()
+		sessOpts = append(sessOpts, phasetune.WithTrace(tracer))
+	}
 	sess := phasetune.NewSession(sessOpts...)
 	res, err := sess.RunContext(ctx, spec)
 	if o.progress {
@@ -296,11 +324,15 @@ func run(o options) error {
 	t.AddRow("throughput", fmt.Sprintf("%.4g instr/s", tput))
 	if spec.Arrivals != nil {
 		st := phasetune.SummarizeServing(res)
-		t.AddRow("sojourn p50", fmt.Sprintf("%.2fs", st.P50))
-		t.AddRow("sojourn p95", fmt.Sprintf("%.2fs", st.P95))
-		t.AddRow("sojourn p99", fmt.Sprintf("%.2fs", st.P99))
-		t.AddRow("sojourn p999", fmt.Sprintf("%.2fs", st.P999))
-		t.AddRow("sojourn mean", fmt.Sprintf("%.2fs", st.MeanSojournSec))
+		if st.Empty() {
+			t.AddRow("sojourn", "n/a (no jobs completed)")
+		} else {
+			t.AddRow("sojourn p50", fmt.Sprintf("%.2fs", st.P50))
+			t.AddRow("sojourn p95", fmt.Sprintf("%.2fs", st.P95))
+			t.AddRow("sojourn p99", fmt.Sprintf("%.2fs", st.P99))
+			t.AddRow("sojourn p999", fmt.Sprintf("%.2fs", st.P999))
+			t.AddRow("sojourn mean", fmt.Sprintf("%.2fs", st.MeanSojournSec))
+		}
 		t.AddRow("peak runnable", fmt.Sprintf("%d (on %d cores)", st.PeakRunnable, len(machine.Cores)))
 		t.AddRow("overcommit slices", fmt.Sprintf("%d", st.OvercommitSlices))
 	}
@@ -319,5 +351,13 @@ func run(o options) error {
 		}
 	}
 	fmt.Print(t.String())
+
+	if tracer != nil {
+		if err := tracer.WriteFile(o.trace); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Printf("\n%s\nwrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+			tracer.Summary(), tracer.Len(), o.trace)
+	}
 	return nil
 }

@@ -30,7 +30,12 @@
 // -run serving is the open-system experiment: Poisson arrivals at offered
 // loads 0.5×–1.5× of machine capacity, overcommit scheduling, and the
 // sojourn-time tail (p50/p95/p99/p999) per placement policy on the quad
-// and hex machines. -benchout appends it as a `serving` entry.
+// and hex machines. -benchout appends it as a `serving` entry. -trace
+// additionally re-runs one representative cell (first machine, hybrid
+// policy, load 1.0×) with the deterministic tracer attached and writes
+// the Chrome trace-event JSON timeline to the given path — one traced
+// run, outside the sweep, because concurrent cells would interleave
+// events nondeterministically. The path is validated (created) up front.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"phasetune/internal/benchhist"
 	"phasetune/internal/experiments"
 	"phasetune/internal/textplot"
+	"phasetune/internal/trace"
 	"phasetune/internal/workload"
 )
 
@@ -53,6 +59,11 @@ var breakdownOpts struct {
 	alts    []int
 	windows []uint64
 	out     string
+}
+
+// servingOpts carries the serving experiment's trace destination.
+var servingOpts struct {
+	trace string
 }
 
 func main() {
@@ -67,7 +78,22 @@ func main() {
 	altsFlag := flag.String("alts", "", "breakdown: comma-separated alternation counts (default 4,16,64,256,1024,4096)")
 	windowsFlag := flag.String("windows", "", "breakdown: comma-separated window sizes in instructions (default 2000,4000,8000,16000,32000)")
 	benchout := flag.String("benchout", "", "breakdown: append the map to this measurement history (e.g. BENCH_sweep.json)")
+	traceFlag := flag.String("trace", "", "serving: write a Chrome trace-event JSON timeline of one representative serving run to this path")
 	flag.Parse()
+
+	if *traceFlag != "" {
+		if *runFlag != "serving" {
+			fatal(fmt.Errorf("-trace only applies to -run serving (a tracer serves one run; sweeps run cells concurrently)"))
+		}
+		// Validate the trace path up front: create/truncate it now so a
+		// bad path fails in milliseconds, not after the whole sweep.
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal(fmt.Errorf("-trace: %w", err))
+		}
+		f.Close()
+		servingOpts.trace = *traceFlag
+	}
 
 	cfg, err := experiments.Default()
 	if err != nil {
@@ -551,9 +577,11 @@ func serving(cfg experiments.Config) error {
 					peak = r.PeakRunnable
 				}
 			}
-			entry.P50Sec = append(entry.P50Sec, p50s)
-			entry.P99Sec = append(entry.P99Sec, p99s)
-			entry.P999Sec = append(entry.P999Sec, p999s)
+			// History rows go through JSON, which rejects NaN; starved
+			// cells are recorded as benchhist.NoData instead.
+			entry.P50Sec = append(entry.P50Sec, benchhist.SanitizeNaNs(p50s))
+			entry.P99Sec = append(entry.P99Sec, benchhist.SanitizeNaNs(p99s))
+			entry.P999Sec = append(entry.P999Sec, benchhist.SanitizeNaNs(p999s))
 			entry.PeakRunnable = append(entry.PeakRunnable, peak)
 			fmt.Printf("\n%s @ load %.2fx — sojourn quantiles (s), peak runnable %d\n", machine, load, peak)
 			fmt.Print(textplot.QuantileStrip(names, p50s, p95s, p99s, p999s, 48))
@@ -573,6 +601,21 @@ func serving(cfg experiments.Config) error {
 			return err
 		}
 		fmt.Printf("\nappended serving entry to %s\n", breakdownOpts.out)
+	}
+
+	if servingOpts.trace != "" {
+		tr := trace.New()
+		st, err := experiments.ServingTraceRun(cfg, tr)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteFile(servingOpts.trace); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Printf("\ntraced representative run (hybrid, load 1.00x): %d admitted, %d completed\n",
+			st.Admitted, st.Completed)
+		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
+			tr.Len(), servingOpts.trace)
 	}
 	return nil
 }

@@ -25,6 +25,11 @@
 // finishes and compares the canonical encodings byte for byte; any
 // mismatch exits non-zero. Workers may also run on other machines —
 // everything a run needs crosses the wire as plain JSON.
+//
+// While a campaign runs, the coordinator serves read-only introspection:
+// GET /status returns campaign progress plus one row per worker (heartbeat
+// age, commits, throughput), and GET /metrics exports the same counters in
+// Prometheus text format — curl either to watch a fleet live.
 package main
 
 import (
@@ -202,6 +207,7 @@ func runCoordinator(o coordOpts) error {
 	defer srv.Close()
 	url := "http://" + ln.Addr().String()
 	fmt.Printf("sweepd: coordinating %q (%d specs) on %s\n", o.campaign, total, url)
+	fmt.Printf("sweepd: introspection at %s/status (JSON) and %s/metrics (Prometheus text)\n", url, url)
 
 	var workers []*osexec.Cmd
 	if o.spawn > 0 {

@@ -9,6 +9,7 @@ package benchhist
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 )
 
@@ -60,6 +61,31 @@ type Breakdown struct {
 	// TolerancePct is the break-even tolerance the frontier was cut with,
 	// in throughput percentage points.
 	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+}
+
+// NoData marks a latency cell with no completed jobs in recorded quantile
+// matrices. The in-memory convention for an empty completed set is NaN
+// (metrics.Quantile, serve.Summarize), but JSON cannot carry NaN —
+// json.Marshal rejects it — so producers rewrite NaN cells through
+// SanitizeNaNs before appending. Consumers must treat negative latencies
+// as absent data, not as measurements.
+const NoData = -1
+
+// SanitizeNaNs returns a copy of vs with every NaN replaced by NoData,
+// making a quantile row safe to marshal. A nil slice stays nil.
+func SanitizeNaNs(vs []float64) []float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			out[i] = NoData
+		} else {
+			out[i] = v
+		}
+	}
+	return out
 }
 
 // Serving is one machine's open-system latency summary: exact sojourn

@@ -1,6 +1,8 @@
 package benchhist
 
 import (
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -70,5 +72,26 @@ func TestLoadMissingOrGarbageStartsFresh(t *testing.T) {
 	}
 	if h := Load(bad); len(h.Entries) != 0 {
 		t.Errorf("garbage file produced entries")
+	}
+}
+
+func TestSanitizeNaNs(t *testing.T) {
+	nan := math.NaN()
+	got := SanitizeNaNs([]float64{1.5, nan, 0, nan})
+	want := []float64{1.5, NoData, 0, NoData}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SanitizeNaNs[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if SanitizeNaNs(nil) != nil {
+		t.Error("nil slice not preserved")
+	}
+	// The point of the sentinel: a sanitized serving entry must marshal.
+	e := Entry{Kind: KindServing, Serving: []Serving{{
+		Machine: "quad", P50Sec: [][]float64{SanitizeNaNs([]float64{nan})},
+	}}}
+	if _, err := json.Marshal(e); err != nil {
+		t.Errorf("sanitized entry failed to marshal: %v", err)
 	}
 }

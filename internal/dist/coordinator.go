@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"phasetune/internal/sim"
+	"phasetune/internal/trace"
 )
 
 // Status is a lease poll outcome.
@@ -131,6 +132,17 @@ type lease struct {
 	deadline time.Time
 }
 
+// workerState tracks one registered worker for fabric introspection: when
+// it joined, when it was last heard from (any authenticated call counts as
+// a liveness proof, not just heartbeats), how many results it committed,
+// and whether it has been told the campaign is done.
+type workerState struct {
+	registeredAt time.Time
+	lastSeen     time.Time
+	commits      int
+	released     bool
+}
+
 // Coordinator owns a campaign: it chunks the grid into leases, tracks
 // worker liveness, re-dispatches expired leases, enforces at-most-once
 // commit per spec index, and merges results in grid order. All methods
@@ -141,12 +153,16 @@ type Coordinator struct {
 	specs []Spec
 	opts  Options
 
+	// met counts fabric events (registrations, leases, commits, expiries)
+	// on the shared trace.Metrics primitive; WriteMetrics exports it.
+	met *trace.Metrics
+
 	mu         sync.Mutex
 	queue      []int // spec indices awaiting dispatch
 	results    []json.RawMessage
 	remaining  int
 	leases     map[string]*lease
-	workers    map[string]bool // workerID -> has been told Done
+	workers    map[string]*workerState
 	nextWorker int
 	nextLease  int
 	expired    int
@@ -176,14 +192,16 @@ func NewCoordinator(camp Campaign, opts Options) (*Coordinator, error) {
 		env:       camp.Env,
 		specs:     camp.Specs,
 		opts:      opts,
+		met:       trace.NewMetrics(),
 		results:   make([]json.RawMessage, len(camp.Specs)),
 		remaining: len(camp.Specs),
 		queue:     make([]int, len(camp.Specs)),
 		leases:    map[string]*lease{},
-		workers:   map[string]bool{},
+		workers:   map[string]*workerState{},
 		failIndex: len(camp.Specs),
 		done:      make(chan struct{}),
 	}
+	c.describeMetrics()
 	for i := range camp.Specs {
 		c.queue[i] = i
 	}
@@ -230,6 +248,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		c.queue = append(c.queue, back...)
 		delete(c.leases, id)
 		c.expired++
+		c.met.Inc("expired_leases_total", 1)
 	}
 }
 
@@ -248,7 +267,9 @@ func (c *Coordinator) Register(name string, version int) (*RegisterReply, error)
 	if name != "" {
 		id = fmt.Sprintf("%s-%s", id, name)
 	}
-	c.workers[id] = false
+	now := c.opts.Clock()
+	c.workers[id] = &workerState{registeredAt: now, lastSeen: now}
+	c.met.Inc("workers_registered_total", 1)
 	return &RegisterReply{
 		WorkerID:    id,
 		Env:         c.env,
@@ -261,13 +282,15 @@ func (c *Coordinator) Register(name string, version int) (*RegisterReply, error)
 func (c *Coordinator) Lease(workerID string) (*LeaseReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.workers[workerID]; !ok {
+	ws, ok := c.workers[workerID]
+	if !ok {
 		return nil, fmt.Errorf("dist: unknown worker %q", workerID)
 	}
 	now := c.opts.Clock()
+	ws.lastSeen = now
 	c.expireLocked(now)
 	if c.finishedLocked() {
-		c.workers[workerID] = true
+		ws.released = true
 		return &LeaseReply{Status: StatusDone}, nil
 	}
 	if len(c.queue) == 0 {
@@ -275,6 +298,7 @@ func (c *Coordinator) Lease(workerID string) (*LeaseReply, error) {
 		if retry > 0.5 {
 			retry = 0.5
 		}
+		c.met.Inc("lease_waits_total", 1)
 		return &LeaseReply{Status: StatusWait, RetrySec: retry}, nil
 	}
 	n := c.opts.ChunkSize
@@ -290,6 +314,7 @@ func (c *Coordinator) Lease(workerID string) (*LeaseReply, error) {
 		l.pending[idx] = true
 	}
 	c.leases[id] = l
+	c.met.Inc("leases_granted_total", 1)
 	specs := make([]Spec, len(indices))
 	for i, idx := range indices {
 		specs[i] = c.specs[idx]
@@ -302,7 +327,8 @@ func (c *Coordinator) Lease(workerID string) (*LeaseReply, error) {
 // any re-dispatched execution); later commits are rejected as duplicates.
 func (c *Coordinator) Commit(req CommitRequest) (*CommitReply, error) {
 	c.mu.Lock()
-	if _, ok := c.workers[req.WorkerID]; !ok {
+	ws, ok := c.workers[req.WorkerID]
+	if !ok {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("dist: unknown worker %q", req.WorkerID)
 	}
@@ -310,8 +336,11 @@ func (c *Coordinator) Commit(req CommitRequest) (*CommitReply, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("dist: commit index %d out of range [0,%d)", req.Index, len(c.specs))
 	}
-	c.expireLocked(c.opts.Clock())
+	now := c.opts.Clock()
+	ws.lastSeen = now
+	c.expireLocked(now)
 	if req.Error != "" {
+		c.met.Inc("failed_commits_total", 1)
 		c.failLocked(req.Index, fmt.Errorf("dist: spec %d failed on %s: %s", req.Index, req.WorkerID, req.Error))
 		c.mu.Unlock()
 		return &CommitReply{Status: CommitOK}, nil
@@ -322,11 +351,14 @@ func (c *Coordinator) Commit(req CommitRequest) (*CommitReply, error) {
 	}
 	if c.results[req.Index] != nil {
 		c.duplicates++
+		c.met.Inc("duplicate_commits_total", 1)
 		c.mu.Unlock()
 		return &CommitReply{Status: CommitDuplicate}, nil
 	}
 	c.results[req.Index] = append(json.RawMessage(nil), req.Result...)
 	c.remaining--
+	ws.commits++
+	c.met.Inc("commits_total", 1)
 	// Retire the index everywhere it may still be scheduled: its own
 	// lease, any re-dispatched lease, and the pending queue.
 	for id, l := range c.leases {
@@ -372,10 +404,13 @@ func (c *Coordinator) Abort(err error) {
 func (c *Coordinator) Heartbeat(workerID string) (*HeartbeatReply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.workers[workerID]; !ok {
+	ws, ok := c.workers[workerID]
+	if !ok {
 		return nil, fmt.Errorf("dist: unknown worker %q", workerID)
 	}
 	now := c.opts.Clock()
+	ws.lastSeen = now
+	c.met.Inc("heartbeats_total", 1)
 	c.expireLocked(now)
 	for _, l := range c.leases {
 		if l.worker == workerID {
@@ -414,8 +449,8 @@ func (c *Coordinator) Quiesced() bool {
 	if !c.finishedLocked() {
 		return false
 	}
-	for _, released := range c.workers {
-		if !released {
+	for _, ws := range c.workers {
+		if !ws.released {
 			return false
 		}
 	}

@@ -87,6 +87,16 @@ func NewHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Progress())
 	})
+	// Fabric introspection: /status is the human/script-facing JSON view
+	// (progress plus per-worker rows), /metrics the Prometheus text view
+	// of the same counters. Both are read-only snapshots.
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = c.WriteMetrics(w)
+	})
 	return mux
 }
 

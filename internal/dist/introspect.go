@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"io"
+	"sort"
+)
+
+// Fabric introspection: the coordinator's live view of its workers and
+// counters, served by NewHandler as GET /status (JSON) and GET /metrics
+// (Prometheus text). Both are read-only snapshots built on the same
+// trace.Metrics primitive the tracer's counter tracks use — one counting
+// substrate for in-sim and in-fabric observability.
+
+// WorkerStatus is one registered worker's live state.
+type WorkerStatus struct {
+	// ID is the coordinator-assigned worker identity.
+	ID string `json:"id"`
+	// HeartbeatAgeSec is the time since the worker was last heard from
+	// (any authenticated call counts, not just heartbeats).
+	HeartbeatAgeSec float64 `json:"heartbeat_age_sec"`
+	// Commits counts results this worker committed (accepted only).
+	Commits int `json:"commits"`
+	// ThroughputPerSec is commits divided by time since registration.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// Done reports the worker has been told the campaign finished.
+	Done bool `json:"done"`
+}
+
+// StatusReport is the GET /status payload: campaign progress plus one row
+// per registered worker, sorted by worker ID.
+type StatusReport struct {
+	Progress Progress       `json:"progress"`
+	Workers  []WorkerStatus `json:"workers"`
+}
+
+// Status snapshots the coordinator for the /status endpoint.
+func (c *Coordinator) Status() StatusReport {
+	rep := StatusReport{Progress: c.Progress()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	for id, ws := range c.workers {
+		row := WorkerStatus{
+			ID:              id,
+			HeartbeatAgeSec: now.Sub(ws.lastSeen).Seconds(),
+			Commits:         ws.commits,
+			Done:            ws.released,
+		}
+		if up := now.Sub(ws.registeredAt).Seconds(); up > 0 {
+			row.ThroughputPerSec = float64(ws.commits) / up
+		}
+		rep.Workers = append(rep.Workers, row)
+	}
+	sort.Slice(rep.Workers, func(i, j int) bool { return rep.Workers[i].ID < rep.Workers[j].ID })
+	return rep
+}
+
+// describeMetrics registers the fabric counters up front so the /metrics
+// export lists every metric (at zero) from the first scrape, in a fixed
+// order.
+func (c *Coordinator) describeMetrics() {
+	for _, d := range []struct{ name, help string }{
+		{"workers_registered_total", "workers admitted to the campaign"},
+		{"leases_granted_total", "spec chunks granted to workers"},
+		{"lease_waits_total", "lease polls answered with wait (no work queued)"},
+		{"commits_total", "results accepted"},
+		{"duplicate_commits_total", "commits rejected as duplicates (at-most-once per index)"},
+		{"failed_commits_total", "commits reporting a deterministic run failure"},
+		{"expired_leases_total", "leases reclaimed after missed heartbeats"},
+		{"heartbeats_total", "heartbeats received"},
+		{"specs_total", "campaign grid size"},
+		{"specs_done", "specs with a committed result"},
+		{"specs_queued", "specs awaiting dispatch"},
+		{"specs_leased", "specs granted and not yet committed"},
+		{"leases_in_flight", "outstanding leases"},
+	} {
+		c.met.Describe(d.name, d.help)
+	}
+}
+
+// WriteMetrics exports the fabric counters in Prometheus text format (the
+// GET /metrics payload), refreshing the state gauges first.
+func (c *Coordinator) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	leased := 0
+	for _, l := range c.leases {
+		leased += len(l.pending)
+	}
+	c.met.Set("specs_total", int64(len(c.specs)))
+	c.met.Set("specs_done", int64(len(c.specs)-c.remaining))
+	c.met.Set("specs_queued", int64(len(c.queue)))
+	c.met.Set("specs_leased", int64(leased))
+	c.met.Set("leases_in_flight", int64(len(c.leases)))
+	c.mu.Unlock()
+	return c.met.WritePrometheus(w)
+}

@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatusReportsWorkerRows pins the introspection snapshot: per-worker
+// heartbeat age, commit count, throughput, and ID-sorted row order.
+func TestStatusReportsWorkerRows(t *testing.T) {
+	camp := testCampaign()
+	camp.Specs = camp.Specs[:2]
+	clock := newFakeClock()
+	coord, err := NewCoordinator(camp, Options{LeaseTTL: time.Minute, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := coord.Register("alpha", SpecVersion)
+	rb, _ := coord.Register("beta", SpecVersion)
+
+	lr, err := coord.Lease(ra.WorkerID)
+	if err != nil || lr.Status != StatusLease {
+		t.Fatalf("lease = %+v, %v", lr, err)
+	}
+	clock.Advance(10 * time.Second)
+	raw := runSpecRaw(t, camp, lr.Indices[0])
+	if _, err := coord.Commit(CommitRequest{WorkerID: ra.WorkerID, LeaseID: lr.LeaseID, Index: lr.Indices[0], Result: raw}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second)
+
+	rep := coord.Status()
+	if len(rep.Workers) != 2 {
+		t.Fatalf("worker rows = %d, want 2", len(rep.Workers))
+	}
+	if rep.Workers[0].ID != ra.WorkerID || rep.Workers[1].ID != rb.WorkerID {
+		t.Errorf("rows not ID-sorted: %q, %q", rep.Workers[0].ID, rep.Workers[1].ID)
+	}
+	a, b := rep.Workers[0], rep.Workers[1]
+	if a.Commits != 1 || b.Commits != 0 {
+		t.Errorf("commits = %d/%d, want 1/0", a.Commits, b.Commits)
+	}
+	// alpha was last seen at its commit (5s ago), beta at registration (15s).
+	if a.HeartbeatAgeSec != 5 || b.HeartbeatAgeSec != 15 {
+		t.Errorf("heartbeat ages = %g/%g, want 5/15", a.HeartbeatAgeSec, b.HeartbeatAgeSec)
+	}
+	// 1 commit over 15s of registered lifetime.
+	if want := 1.0 / 15.0; a.ThroughputPerSec != want {
+		t.Errorf("throughput = %g, want %g", a.ThroughputPerSec, want)
+	}
+	if rep.Progress.Done != 1 || rep.Progress.Total != 2 {
+		t.Errorf("progress = %+v", rep.Progress)
+	}
+}
+
+// TestWriteMetricsCountsFabricEvents pins the Prometheus export: event
+// counters advance with fabric activity and gauges reflect current state.
+func TestWriteMetricsCountsFabricEvents(t *testing.T) {
+	camp := testCampaign()
+	camp.Specs = camp.Specs[:1]
+	clock := newFakeClock()
+	coord, err := NewCoordinator(camp, Options{LeaseTTL: 10 * time.Second, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := coord.Register("w", SpecVersion)
+	lr, _ := coord.Lease(r1.WorkerID)
+	if _, err := coord.Heartbeat(r1.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	// Expire the lease, re-lease, then commit twice (second is duplicate).
+	clock.Advance(11 * time.Second)
+	lr2, _ := coord.Lease(r1.WorkerID)
+	raw := runSpecRaw(t, camp, 0)
+	if rep, _ := coord.Commit(CommitRequest{WorkerID: r1.WorkerID, LeaseID: lr2.LeaseID, Index: 0, Result: raw}); rep.Status != CommitOK {
+		t.Fatalf("commit = %+v", rep)
+	}
+	if rep, _ := coord.Commit(CommitRequest{WorkerID: r1.WorkerID, LeaseID: lr.LeaseID, Index: 0, Result: raw}); rep.Status != CommitDuplicate {
+		t.Fatalf("second commit = %+v", rep)
+	}
+
+	var sb strings.Builder
+	if err := coord.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"workers_registered_total 1",
+		"leases_granted_total 2",
+		"expired_leases_total 1",
+		"commits_total 1",
+		"duplicate_commits_total 1",
+		"heartbeats_total 1",
+		"specs_total 1",
+		"specs_done 1",
+		"# HELP commits_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHTTPIntrospectionEndpoints serves /status and /metrics over a real
+// HTTP handler and checks both views are live.
+func TestHTTPIntrospectionEndpoints(t *testing.T) {
+	camp := testCampaign()
+	camp.Specs = camp.Specs[:1]
+	coord, err := NewCoordinator(camp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Register("probe", SpecVersion); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(coord))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep StatusReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workers) != 1 || !strings.Contains(rep.Workers[0].ID, "probe") {
+		t.Errorf("/status workers = %+v", rep.Workers)
+	}
+	if rep.Progress.Total != 1 {
+		t.Errorf("/status progress = %+v", rep.Progress)
+	}
+
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "workers_registered_total 1") {
+		t.Errorf("/metrics missing worker counter:\n%s", body)
+	}
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+}

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"math"
+
 	"phasetune/internal/amp"
 	"phasetune/internal/dist"
 	"phasetune/internal/metrics"
 	"phasetune/internal/serve"
+	"phasetune/internal/sim"
+	"phasetune/internal/trace"
 	"phasetune/internal/workload"
 )
 
@@ -62,9 +66,11 @@ type ServingRow struct {
 	// Admitted and Completed are mean per-seed job counts.
 	Admitted, Completed float64
 	// P50, P95, P99, P999 are exact sojourn-time quantiles in seconds,
-	// pooled across seeds.
+	// pooled across seeds. NaN when no seed completed a job at this cell.
 	P50, P95, P99, P999 float64
-	// MeanSojournSec is the pooled mean sojourn time.
+	// MeanSojournSec is the pooled mean sojourn time, NaN when no job
+	// completed — matching the quantiles, a starved cell must not read as
+	// a zero-latency one.
 	MeanSojournSec float64
 	// PeakRunnable is the maximum simultaneously live task count across
 	// seeds — above the core count, the cell exercised overcommit.
@@ -117,6 +123,29 @@ func ServingCampaign(cfg Config, machine *amp.Machine) dist.Campaign {
 	return dist.Campaign{Env: mcfg.Env(), Specs: servingGrid(mcfg)}
 }
 
+// ServingTraceRun re-runs one representative serving cell — the first
+// serving machine, the hybrid policy, offered load 1.0× — with the given
+// tracer attached. It runs outside the sweep because a tracer serves one
+// run: concurrent sweep cells would interleave their events
+// nondeterministically. The cell itself is deterministic (same wire spec
+// as the sweep's), so the returned summary matches the sweep's seed-0
+// cell and the trace is byte-stable across invocations.
+func ServingTraceRun(cfg Config, tr *trace.Tracer) (serve.Stats, error) {
+	machine := ServingMachines()[0]
+	mcfg := servingConfig(cfg, machine)
+	spec := servingRunCfg(mcfg, ShowdownHybrid, 1.0, mcfg.Seeds[0])
+	rc, err := mcfg.Env().RunConfig(spec, mcfg.Suite, nil)
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	rc.Trace = tr
+	res, err := sim.Run(rc)
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	return serve.Summarize(res), nil
+}
+
 // Serving runs the offered-load × policy latency sweep on the given
 // machines (default: ServingMachines — quad and hex). Rows come back
 // machine-major, then load-major in ServingLoads order, then policy in
@@ -161,6 +190,7 @@ func Serving(cfg Config, machines []*amp.Machine) ([]ServingRow, error) {
 				row.OvercommitSlices /= n
 				qs := metrics.Quantiles(pooled, 0.50, 0.95, 0.99, 0.999)
 				row.P50, row.P95, row.P99, row.P999 = qs[0], qs[1], qs[2], qs[3]
+				row.MeanSojournSec = math.NaN()
 				if len(pooled) > 0 {
 					row.MeanSojournSec = metrics.Mean(pooled)
 				}

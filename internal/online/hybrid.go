@@ -7,6 +7,7 @@ import (
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/phase"
 	"phasetune/internal/place"
+	"phasetune/internal/trace"
 )
 
 // Hybrid is the marks+windows hybrid runtime — the paper's §VI-B "simple
@@ -41,6 +42,7 @@ type Hybrid struct {
 	taskByPID map[int]*osched.Task
 	states    []*hybridState // first-mark order (deterministic passes)
 	byPID     map[int]*hybridState
+	tr        *trace.Tracer
 }
 
 // hybridState is one process's bookkeeping.
@@ -98,6 +100,15 @@ func (m *Hybrid) Stats() Stats { return m.stats }
 
 // Engine returns the shared placement engine (test and diagnostic access).
 func (m *Hybrid) Engine() *place.Engine { return m.engine }
+
+// SetTracer attaches a trace sink to the runtime and its placement
+// engine: boundary window closes, re-decisions, and drift-damped
+// refreshes are emitted stamped at the kernel's simulated clock. Nil
+// disables tracing.
+func (m *Hybrid) SetTracer(tr *trace.Tracer) {
+	m.tr = tr
+	m.engine.SetTracer(tr)
+}
 
 // Hook returns the per-process mark hook of one image's process. The
 // simulator installs it on every spawned process of a hybrid run.
@@ -222,9 +233,20 @@ func (m *Hybrid) closeWindow(st *hybridState, coreID int, atTick bool) {
 	if st.task == nil || st.task.Migrations != st.openMigr || cycles == 0 ||
 		st.cur == phase.Untyped || instrs < minInstrs || coreID < 0 {
 		m.stats.Discarded++
+		if m.tr != nil {
+			m.tr.InstantNow("online", "window.discard", trace.PidTasks, st.pid)
+		}
 		return
 	}
 	ct := m.machine.Cores[coreID].Type
+	if m.tr != nil {
+		m.tr.InstantNow("online", "window", trace.PidTasks, st.pid,
+			trace.Arg{Key: "phase", Value: int(st.cur)},
+			trace.Arg{Key: "ipc", Value: perfcnt.IPC(instrs, cycles)},
+			trace.Arg{Key: "instrs", Value: instrs},
+			trace.Arg{Key: "core_type", Value: m.machine.Types[ct].Name},
+			trace.Arg{Key: "at_tick", Value: atTick})
+	}
 	m.record(st, st.cur, ct, perfcnt.IPC(instrs, cycles))
 }
 
@@ -246,6 +268,12 @@ func (m *Hybrid) record(st *hybridState, pt phase.Type, ct amp.CoreTypeID, ipc f
 	first := st.table.DecisionOf(key) == nil
 	if !first && m.cfg.Hybrid.Drift > 0 && st.table.Drift(key) <= m.cfg.Hybrid.Drift {
 		m.stats.Damped++
+		if m.tr != nil {
+			m.tr.InstantNow("online", "damped", trace.PidTasks, st.pid,
+				trace.Arg{Key: "phase", Value: key},
+				trace.Arg{Key: "drift", Value: st.table.Drift(key)},
+				trace.Arg{Key: "threshold", Value: m.cfg.Hybrid.Drift})
+		}
 		if st.cur == pt {
 			st.probing = false
 			m.engine.Enter(st.pid, *st.table.DecisionOf(key))
@@ -258,6 +286,15 @@ func (m *Hybrid) record(st *hybridState, pt phase.Type, ct amp.CoreTypeID, ipc f
 		m.stats.Decisions++
 	} else {
 		m.stats.Refreshes++
+	}
+	if m.tr != nil {
+		name := "decision"
+		if !first {
+			name = "redecide"
+		}
+		m.tr.InstantNow("online", name, trace.PidTasks, st.pid,
+			trace.Arg{Key: "phase", Value: key},
+			trace.Arg{Key: "choice", Value: m.machine.Types[dec.Choice].Name})
 	}
 	if st.cur == pt {
 		st.probing = false

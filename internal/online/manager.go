@@ -7,6 +7,7 @@ import (
 	"phasetune/internal/osched"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/place"
+	"phasetune/internal/trace"
 )
 
 // taskState is the detector's per-process bookkeeping.
@@ -69,6 +70,7 @@ type Manager struct {
 	seen  int // cursor into kernel.Tasks()
 	live  []*taskState
 	stats Stats
+	tr    *trace.Tracer
 }
 
 // NewManager builds the runtime for one kernel. The hardware pool should be
@@ -93,6 +95,14 @@ func (m *Manager) Stats() Stats { return m.stats }
 
 // Engine returns the shared placement engine (test and diagnostic access).
 func (m *Manager) Engine() *place.Engine { return m.engine }
+
+// SetTracer attaches a trace sink to the runtime and its placement
+// engine: window closes, classifications, and decisions are emitted
+// stamped at the kernel's simulated clock. Nil disables tracing.
+func (m *Manager) SetTracer(tr *trace.Tracer) {
+	m.tr = tr
+	m.engine.SetTracer(tr)
+}
 
 // PhasesOf returns the classifier of a task (nil if the task was never
 // monitored) — test and diagnostic access.
@@ -170,6 +180,9 @@ func (m *Manager) sample(k *osched.Kernel, ts *taskState) {
 
 		if cycles == 0 || t.Migrations != ts.openMigr || t.Core() < 0 {
 			m.stats.Discarded++
+			if m.tr != nil {
+				m.tr.InstantNow("online", "window.discard", trace.PidTasks, t.Proc.PID)
+			}
 		} else {
 			sig := Signature{
 				IPC:     perfcnt.IPC(instrs, cycles),
@@ -182,6 +195,15 @@ func (m *Manager) sample(k *osched.Kernel, ts *taskState) {
 			m.stats.Windows++
 			if founded {
 				m.stats.Phases++
+			}
+			if m.tr != nil {
+				m.tr.InstantNow("online", "window", trace.PidTasks, t.Proc.PID,
+					trace.Arg{Key: "phase", Value: phase},
+					trace.Arg{Key: "ipc", Value: sig.IPC},
+					trace.Arg{Key: "mem_frac", Value: sig.MemFrac},
+					trace.Arg{Key: "instrs", Value: instrs},
+					trace.Arg{Key: "core_type", Value: m.machine.Types[coreType].Name},
+					trace.Arg{Key: "new_phase", Value: founded})
 			}
 			a := m.cfg.IPCSmoothing
 			if ts.windows == 1 {
@@ -237,6 +259,11 @@ func (m *Manager) probe(k *osched.Kernel, ts *taskState) {
 	ts.decisions[phase] = &dec
 	ts.probing = false
 	m.stats.Decisions++
+	if m.tr != nil {
+		m.tr.InstantNow("online", "decision", trace.PidTasks, ts.task.Proc.PID,
+			trace.Arg{Key: "phase", Value: phase},
+			trace.Arg{Key: "choice", Value: m.machine.Types[dec.Choice].Name})
+	}
 }
 
 // probeRebalance places every decided task through the shared engine's

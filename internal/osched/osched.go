@@ -24,6 +24,7 @@ import (
 	"phasetune/internal/cache"
 	"phasetune/internal/exec"
 	"phasetune/internal/perfcnt"
+	"phasetune/internal/trace"
 )
 
 // PsPerSec converts simulated seconds to picoseconds.
@@ -252,6 +253,11 @@ type Kernel struct {
 	Monitor TaskMonitor
 	// TraceBurst, when set, fires after every run burst (diagnostics).
 	TraceBurst func(core int, t *Task, cycles, startPs, endPs int64)
+	// Trace, when set, receives scheduler events (burst spans, migrations,
+	// timers, runnable-depth counters). Nil disables tracing; emit sites
+	// never read tracer state back, so a traced run is bit-identical to an
+	// untraced one.
+	Trace *trace.Tracer
 
 	params  []exec.CoreParams
 	cores   []coreState
@@ -272,6 +278,7 @@ type Kernel struct {
 	sampling   bool
 	balancing  bool
 	monitoring bool
+	traceNamed bool
 }
 
 // NewKernel boots a kernel on the machine.
@@ -354,6 +361,14 @@ func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) 
 		k.peakLive = k.live
 	}
 	k.enqueue(t, k.pickCore(t, -1))
+	if k.Trace != nil {
+		k.Trace.NameThread(trace.PidTasks, p.PID, fmt.Sprintf("task %d (%s)", p.PID, name))
+		k.Trace.Instant("sched", "spawn", trace.PidTasks, p.PID, k.nowPs,
+			trace.Arg{Key: "name", Value: name},
+			trace.Arg{Key: "slot", Value: slot},
+			trace.Arg{Key: "core", Value: t.core})
+		k.traceRunnable()
+	}
 	return t
 }
 
@@ -488,6 +503,11 @@ func (k *Kernel) RunUntilDone(maxSec float64) error {
 
 // handle processes one event.
 func (k *Kernel) handle(e event) {
+	if k.Trace != nil {
+		// Keep the tracer's clock in lockstep with the kernel's so layers
+		// without their own clock (placement engine, tuner) stamp correctly.
+		k.Trace.SetNow(k.nowPs)
+	}
 	switch e.kind {
 	case evDispatch:
 		k.dispatch(e.core)
@@ -498,6 +518,7 @@ func (k *Kernel) handle(e event) {
 		k.push(k.nowPs+SecToPs(k.Config.BalanceIntervalSec), evBalance, -1)
 	case evSample:
 		k.samples = append(k.samples, Sample{AtPs: k.nowPs, Instructions: k.totalInstr})
+		k.traceRunnable()
 		if k.OnSample != nil {
 			k.OnSample(k, k.nowPs)
 		}
@@ -508,10 +529,29 @@ func (k *Kernel) handle(e event) {
 		}
 		k.push(k.nowPs+SecToPs(k.Config.MonitorIntervalSec), evMonitor, -1)
 	case evTimer:
+		if k.Trace != nil {
+			k.Trace.Instant("sched", "timer", trace.PidMachine, trace.TidKernel, k.nowPs)
+		}
 		if e.fn != nil {
 			e.fn(k)
 		}
 	}
+}
+
+// traceRunnable emits the runnable-depth counter track: live task demand
+// per core type plus the total, the overcommit dispatcher's input.
+func (k *Kernel) traceRunnable() {
+	if k.Trace == nil {
+		return
+	}
+	series := make([]trace.Arg, 0, len(k.runnable)+1)
+	total := 0
+	for typ, n := range k.runnable {
+		series = append(series, trace.Arg{Key: k.Machine.Types[typ].Name, Value: n})
+		total += n
+	}
+	series = append(series, trace.Arg{Key: "total", Value: total})
+	k.Trace.Counter("runnable", trace.PidMachine, k.nowPs, series...)
 }
 
 // At schedules fn to run inside the event loop at the given simulated
@@ -532,6 +572,16 @@ func (k *Kernel) At(ps int64, fn func(*Kernel)) {
 
 // ensurePeriodicEvents seeds the balance and sample events once.
 func (k *Kernel) ensurePeriodicEvents() {
+	if k.Trace != nil && !k.traceNamed {
+		k.traceNamed = true
+		k.Trace.NameProcess(trace.PidMachine, "scheduler: "+k.Machine.Name)
+		k.Trace.NameProcess(trace.PidTasks, "tasks")
+		k.Trace.NameThread(trace.PidMachine, trace.TidKernel, "kernel")
+		for i := range k.cores {
+			typ := k.Machine.Types[k.cores[i].typ].Name
+			k.Trace.NameThread(trace.PidMachine, trace.CoreTid(i), fmt.Sprintf("core %d (%s)", i, typ))
+		}
+	}
 	if !k.balancing {
 		k.balancing = true
 		k.push(k.nowPs+SecToPs(k.Config.BalanceIntervalSec), evBalance, -1)
@@ -559,6 +609,7 @@ func (k *Kernel) dispatch(core int) {
 
 	par := &k.params[cs.typ]
 	sliceCycles := int64(k.Config.TimesliceSec * par.CyclesPerSec)
+	ocScale := 1.0
 	if k.Config.Overcommit.Enabled {
 		// Phase 2 of the overcommit dispatcher: turn the fractional share
 		// into a bounded execution slice. The shortened quantum produces
@@ -577,6 +628,7 @@ func (k *Kernel) dispatch(core int) {
 				scaled = 1
 			}
 			sliceCycles = scaled
+			ocScale = f
 			k.ocSlices++
 		}
 	}
@@ -638,6 +690,24 @@ func (k *Kernel) dispatch(core int) {
 	if k.TraceBurst != nil {
 		k.TraceBurst(core, t, used, k.nowPs, end)
 	}
+	if k.Trace != nil {
+		reason := "slice"
+		if exited {
+			reason = "exit"
+		} else if migrate {
+			reason = "migrate"
+		}
+		args := []trace.Arg{
+			{Key: "task", Value: t.Proc.PID},
+			{Key: "name", Value: t.Name},
+			{Key: "cycles", Value: used},
+			{Key: "end", Value: reason},
+		}
+		if ocScale < 1 {
+			args = append(args, trace.Arg{Key: "oc_scale", Value: ocScale})
+		}
+		k.Trace.Span("sched", "burst", trace.PidMachine, trace.CoreTid(core), k.nowPs, end, args...)
+	}
 
 	switch {
 	case exited:
@@ -646,6 +716,12 @@ func (k *Kernel) dispatch(core int) {
 		k.runnable[cs.typ]--
 		t.core = -1
 		k.live--
+		if k.Trace != nil {
+			k.Trace.Instant("sched", "exit", trace.PidTasks, t.Proc.PID, end,
+				trace.Arg{Key: "migrations", Value: t.Migrations},
+				trace.Arg{Key: "sojourn_ps", Value: end - t.ArrivalPs})
+			k.traceRunnable()
+		}
 		if k.OnExit != nil {
 			// The callback may Spawn; advance the clock first so arrivals
 			// stamp correctly.
@@ -659,6 +735,11 @@ func (k *Kernel) dispatch(core int) {
 		t.pendingCycles += k.Config.CoreSwitchCycles
 		t.arriveHead = true
 		target := k.pickCore(t, core)
+		if k.Trace != nil {
+			k.Trace.Instant("sched", "migrate", trace.PidTasks, t.Proc.PID, end,
+				trace.Arg{Key: "from", Value: core},
+				trace.Arg{Key: "to", Value: target})
+		}
 		k.pushArrive(end, t, target)
 	default:
 		// Slice expired: round-robin on the same core (or follow affinity if
@@ -700,6 +781,12 @@ func (k *Kernel) balance() {
 			k.cores[src].queue = append(q[:i], q[i+1:]...)
 			t.Migrations++
 			t.pendingCycles += k.Config.CoreSwitchCycles
+			if k.Trace != nil {
+				k.Trace.Instant("sched", "balance.move", trace.PidMachine, trace.TidKernel, k.nowPs,
+					trace.Arg{Key: "task", Value: t.Proc.PID},
+					trace.Arg{Key: "from", Value: src},
+					trace.Arg{Key: "to", Value: dst})
+			}
 			k.enqueue(t, dst)
 			moved = true
 			break

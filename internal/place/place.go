@@ -40,6 +40,7 @@ import (
 	"sort"
 
 	"phasetune/internal/amp"
+	"phasetune/internal/trace"
 )
 
 // Config parameterizes the arbitration (the Algorithm 2 threshold δ is a
@@ -266,6 +267,8 @@ type Engine struct {
 	claims map[int]*claim
 	order  []int // claim ids in registration order (deterministic passes)
 	dirty  bool
+
+	tr *trace.Tracer
 }
 
 // NewEngine builds an engine for one machine. delta is the runtime's
@@ -283,6 +286,12 @@ func NewEngine(m *amp.Machine, delta float64, cfg Config) *Engine {
 // Capacity returns the engine's capacity model.
 func (e *Engine) Capacity() *Capacity { return e.capacity }
 
+// SetTracer attaches a trace sink to the engine. Decisions and spill
+// moves are emitted stamped at the tracer's simulated clock (the kernel
+// keeps it current); a nil tracer disables emission. The engine never
+// reads tracer state, so placements are identical with or without it.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tr = tr }
+
 // Decide implements Placer: Algorithm 2 over the measured IPC vector plus
 // the per-type instruction rates arbitration prices spills with.
 func (e *Engine) Decide(ipc []float64) Decision {
@@ -290,7 +299,16 @@ func (e *Engine) Decide(ipc []float64) Decision {
 	for i := range ipc {
 		rates[i] = ipc[i] * e.capacity.machine.Types[i].CyclesPerSec
 	}
-	return Decision{Choice: Select(e.capacity.machine, ipc, e.delta), Rates: rates}
+	dec := Decision{Choice: Select(e.capacity.machine, ipc, e.delta), Rates: rates}
+	if e.tr != nil {
+		e.tr.InstantNow("place", "decide", trace.PidMachine, trace.TidKernel,
+			trace.Arg{Key: "ipc", Value: append([]float64(nil), ipc...)},
+			trace.Arg{Key: "rates", Value: append([]float64(nil), rates...)},
+			trace.Arg{Key: "choice", Value: e.capacity.machine.Types[dec.Choice].Name},
+			trace.Arg{Key: "delta", Value: e.delta},
+			trace.Arg{Key: "claims", Value: len(e.claims)})
+	}
+	return dec
 }
 
 // Enter implements Placer. A refreshed decision with an unchanged
@@ -382,6 +400,13 @@ func (e *Engine) Arbitrate(claims []Claim) []amp.CoreTypeID {
 	for i := range claims {
 		demand[int(assigned[i])]++
 	}
+	if e.tr != nil {
+		e.tr.InstantNow("place", "arbitrate", trace.PidMachine, trace.TidKernel,
+			trace.Arg{Key: "claims", Value: len(claims)},
+			trace.Arg{Key: "demand", Value: append([]int(nil), demand...)},
+			trace.Arg{Key: "quota", Value: append([]int(nil), quota...)},
+			trace.Arg{Key: "band", Value: e.cfg.Band})
+	}
 
 	band := e.cfg.Band
 	for round := 0; round < len(claims)*nTypes; round++ {
@@ -415,6 +440,13 @@ func (e *Engine) Arbitrate(claims []Claim) []amp.CoreTypeID {
 		}
 		if best == -1 {
 			break
+		}
+		if e.tr != nil {
+			e.tr.InstantNow("place", "spill", trace.PidMachine, trace.TidKernel,
+				trace.Arg{Key: "claim", Value: best},
+				trace.Arg{Key: "from", Value: e.capacity.machine.Types[over].Name},
+				trace.Arg{Key: "to", Value: e.capacity.machine.Types[under].Name},
+				trace.Arg{Key: "loss", Value: bestLoss})
 		}
 		assigned[best] = amp.CoreTypeID(under)
 		demand[over]--

@@ -22,6 +22,8 @@
 package serve
 
 import (
+	"math"
+
 	"phasetune/internal/amp"
 	"phasetune/internal/metrics"
 	"phasetune/internal/sim"
@@ -70,6 +72,10 @@ type Stats struct {
 	// in the system at the run horizon.
 	Admitted, Completed int
 	// MeanSojournSec and MaxSojournSec summarize completed-job latency.
+	// NaN when no job completed — an overloaded run with an empty
+	// completed set must not masquerade as one with zero latency (the hex
+	// 1.5× oracle run finishes 86 of 301 jobs; a run finishing zero would
+	// otherwise look perfect). Use Empty to branch before formatting.
 	MeanSojournSec, MaxSojournSec float64
 	// P50, P95, P99, P999 are exact nearest-rank sojourn quantiles in
 	// seconds (NaN when no job completed).
@@ -82,13 +88,21 @@ type Stats struct {
 	OvercommitSlices uint64
 }
 
-// Summarize condenses a serving run result.
+// Empty reports whether the summary has no completed jobs, i.e. every
+// latency field is NaN.
+func (s Stats) Empty() bool { return s.Completed == 0 }
+
+// Summarize condenses a serving run result. With no completed jobs the
+// latency fields (mean, max, and every quantile) are NaN, matching
+// metrics.Quantile's empty-set convention — never silent zeros.
 func Summarize(res *sim.Result) Stats {
 	soj := metrics.SojournTimes(res.Tasks)
 	qs := metrics.Quantiles(soj, 0.50, 0.95, 0.99, 0.999)
 	st := Stats{
 		Admitted:         len(res.Tasks),
 		Completed:        len(soj),
+		MeanSojournSec:   math.NaN(),
+		MaxSojournSec:    math.NaN(),
 		P50:              qs[0],
 		P95:              qs[1],
 		P99:              qs[2],

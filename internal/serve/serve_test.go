@@ -71,9 +71,25 @@ func TestSummarize(t *testing.T) {
 	if st.PeakRunnable != 7 || st.OvercommitSlices != 42 {
 		t.Errorf("overcommit evidence lost: %+v", st)
 	}
-	// No completions: quantiles are NaN, counts still reported.
+	if st.Empty() {
+		t.Errorf("summary with %d completions reported Empty", st.Completed)
+	}
+	// No completions: every latency field is NaN — never silent zeros —
+	// and counts are still reported. Empty() is the branch-before-format
+	// guard for consumers.
 	empty := Summarize(&sim.Result{Tasks: []metrics.TaskStat{{Name: "x", CompletionSec: -1}}})
-	if empty.Admitted != 1 || empty.Completed != 0 || !math.IsNaN(empty.P50) {
-		t.Errorf("empty summary = %+v", empty)
+	if empty.Admitted != 1 || empty.Completed != 0 {
+		t.Errorf("empty summary counts = %+v", empty)
+	}
+	if !empty.Empty() {
+		t.Error("zero-completion summary not Empty")
+	}
+	for name, v := range map[string]float64{
+		"p50": empty.P50, "p95": empty.P95, "p99": empty.P99, "p999": empty.P999,
+		"mean": empty.MeanSojournSec, "max": empty.MaxSojournSec,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty summary %s = %g, want NaN", name, v)
+		}
 	}
 }

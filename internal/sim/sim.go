@@ -21,6 +21,7 @@ import (
 	"phasetune/internal/phase"
 	"phasetune/internal/place"
 	"phasetune/internal/rng"
+	"phasetune/internal/trace"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
 	"phasetune/internal/workload"
@@ -118,6 +119,13 @@ type RunConfig struct {
 	Cache *ImageCache
 	// Events, when set, receives per-run progress callbacks.
 	Events Events
+	// Trace, when set, records the run's event timeline (scheduler bursts,
+	// placement decisions, online windows, mark boundaries, task spans).
+	// Tracing never perturbs the simulation: a traced run's Result is
+	// bit-identical to an untraced one. The tracer is not part of the dist
+	// wire format; one tracer should observe one run at a time (concurrent
+	// sweep runs sharing a tracer interleave nondeterministically).
+	Trace *trace.Tracer
 }
 
 // Events holds optional per-run observation hooks. Hooks are invoked
@@ -294,14 +302,17 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	if err != nil {
 		return nil, err
 	}
+	kernel.Trace = cfg.Trace
 	var monitor *online.Manager
 	var hybrid *online.Hybrid
 	switch cfg.Mode {
 	case Dynamic:
 		monitor = online.NewManager(onlCfg, pcfg, machine, kernel.Hardware)
+		monitor.SetTracer(cfg.Trace)
 		kernel.Monitor = monitor
 	case Hybrid:
 		hybrid = online.NewHybrid(onlCfg, pcfg, machine, kernel.Hardware)
+		hybrid.SetTracer(cfg.Trace)
 		kernel.Monitor = hybrid
 	}
 	if cfg.Events.OnProgress != nil {
@@ -323,26 +334,31 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	var spillEng *place.Engine
 	if cfg.Mode == Tuned && tcfg.Spill {
 		spillEng = place.NewEngine(machine, tcfg.Delta, pcfg)
+		spillEng.SetTracer(cfg.Trace)
 	}
 
 	// The hook choice is per-process and mode-dependent; the closed slot
-	// driver and the open arrival driver build hooks identically.
+	// driver and the open arrival driver build hooks identically. With a
+	// tracer attached, the chosen hook is wrapped so mark boundaries emit
+	// instants before delegating.
 	mkHook := func(k *osched.Kernel, img *exec.Image) exec.MarkHook {
+		var hook exec.MarkHook
 		switch {
 		case factory != nil:
-			return factory(k, img)
+			hook = factory(k, img)
 		case cfg.Mode == Tuned || cfg.Mode == Overhead:
 			t := tuning.NewTuner(tcfg, machine, k.Hardware, img)
 			if spillEng != nil {
 				t.SetEngine(spillEng)
 			}
-			return t
+			t.SetTracer(cfg.Trace)
+			hook = t
 		case cfg.Mode == Oracle:
-			return online.NewOracleHook(img, oracleMasks[img])
+			hook = online.NewOracleHook(img, oracleMasks[img])
 		case cfg.Mode == Hybrid:
-			return hybrid.Hook(img)
+			hook = hybrid.Hook(img)
 		}
-		return nil
+		return traceMarkHook(cfg.Trace, hook)
 	}
 
 	if closed {
@@ -386,14 +402,31 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 			seed := seeds.Uint64()
 			idx := i
 			kernel.At(osched.SecToPs(a.AtSec), func(k *osched.Kernel) {
+				if cfg.Trace != nil {
+					cfg.Trace.Instant("sim", "admit", trace.PidMachine, trace.TidKernel, k.NowPs(),
+						trace.Arg{Key: "arrival", Value: idx},
+						trace.Arg{Key: "name", Value: b.Name()})
+				}
 				p := exec.NewProcess(k.NextPID(), img, &kernel.Cost, seed, mkHook(k, img))
 				k.Spawn(p, b.Name(), idx, 0)
 			})
 		}
 	}
 
+	if cfg.Trace != nil {
+		cfg.Trace.Instant("sim", "run.start", trace.PidMachine, trace.TidKernel, kernel.NowPs(),
+			trace.Arg{Key: "mode", Value: cfg.Mode.String()},
+			trace.Arg{Key: "machine", Value: machine.Name},
+			trace.Arg{Key: "duration_sec", Value: cfg.DurationSec},
+			trace.Arg{Key: "seed", Value: cfg.Seed})
+	}
 	if kernel.RunCancellable(cfg.DurationSec, func() bool { return ctx.Err() != nil }) {
 		return nil, ctx.Err()
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Instant("sim", "run.end", trace.PidMachine, trace.TidKernel, kernel.NowPs(),
+			trace.Arg{Key: "tasks", Value: len(kernel.Tasks())},
+			trace.Arg{Key: "instructions", Value: kernel.TotalInstructions()})
 	}
 
 	for _, t := range kernel.Tasks() {
@@ -410,6 +443,20 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		}
 		if t.State == osched.TaskExited {
 			stat.CompletionSec = osched.PsToSec(t.CompletionPs)
+		}
+		if cfg.Trace != nil {
+			// One lifetime span per task, emitted post-run so unfinished
+			// tasks close at the horizon.
+			endPs := t.CompletionPs
+			done := t.State == osched.TaskExited
+			if !done {
+				endPs = kernel.NowPs()
+			}
+			cfg.Trace.Span("task", t.Name, trace.PidTasks, t.Proc.PID, t.ArrivalPs, endPs,
+				trace.Arg{Key: "slot", Value: t.Slot},
+				trace.Arg{Key: "migrations", Value: t.Migrations},
+				trace.Arg{Key: "instructions", Value: t.Proc.Counters.Instructions},
+				trace.Arg{Key: "done", Value: done})
 		}
 		res.Tasks = append(res.Tasks, stat)
 	}

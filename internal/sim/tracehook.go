@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"phasetune/internal/exec"
+	"phasetune/internal/trace"
+)
+
+// traceMarkHook wraps a process's mark hook so every phase-mark boundary
+// emits an instant before delegating. The kernel type-asserts hooks
+// against exec.QuantumHook to run end-of-quantum callbacks, so a wrapped
+// hook must present exactly the interface surface of the hook it wraps —
+// wrapping a QuantumHook in a plain MarkHook shell would silently drop
+// bounded monitoring windows and break the traced-equals-untraced
+// contract. Two wrapper types keep the assertion intact.
+func traceMarkHook(tr *trace.Tracer, inner exec.MarkHook) exec.MarkHook {
+	if tr == nil || inner == nil {
+		return inner
+	}
+	if _, ok := inner.(exec.QuantumHook); ok {
+		return &traceQuantumHook{traceHook{tr: tr, inner: inner}}
+	}
+	return &traceHook{tr: tr, inner: inner}
+}
+
+type traceHook struct {
+	tr    *trace.Tracer
+	inner exec.MarkHook
+}
+
+func (h *traceHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction {
+	h.tr.InstantNow("exec", "mark", trace.PidTasks, p.PID,
+		trace.Arg{Key: "mark", Value: markID},
+		trace.Arg{Key: "core", Value: coreID})
+	return h.inner.OnMark(p, markID, coreID)
+}
+
+func (h *traceHook) OnExit(p *exec.Process) { h.inner.OnExit(p) }
+
+type traceQuantumHook struct {
+	traceHook
+}
+
+func (h *traceQuantumHook) OnQuantum(p *exec.Process, coreID int) exec.MarkAction {
+	return h.inner.(exec.QuantumHook).OnQuantum(p, coreID)
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Metrics is an ordered counter/gauge registry — the same primitive the
+// tracer's counter tracks are built from, reused by the dist fabric's
+// /metrics endpoint. Names are registered on first touch and snapshots
+// preserve registration order, so exported text is deterministic for a
+// deterministic workload.
+type Metrics struct {
+	mu    sync.Mutex
+	order []string
+	vals  map[string]int64
+	help  map[string]string
+}
+
+// MetricValue is one named value in a snapshot.
+type MetricValue struct {
+	Name  string
+	Value int64
+	Help  string
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vals: make(map[string]int64), help: make(map[string]string)}
+}
+
+// Describe attaches help text to a metric (registering it at zero if
+// new). First call per name wins.
+func (m *Metrics) Describe(name, help string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touch(name)
+	if m.help[name] == "" {
+		m.help[name] = help
+	}
+}
+
+func (m *Metrics) touch(name string) {
+	if _, ok := m.vals[name]; !ok {
+		m.vals[name] = 0
+		m.order = append(m.order, name)
+	}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.touch(name)
+	m.vals[name] += delta
+	m.mu.Unlock()
+}
+
+// Set stores an absolute gauge value.
+func (m *Metrics) Set(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.touch(name)
+	m.vals[name] = v
+	m.mu.Unlock()
+}
+
+// Get reads the named value (0 if never touched or on nil).
+func (m *Metrics) Get(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.vals[name]
+}
+
+// Snapshot returns every value in registration order.
+func (m *Metrics) Snapshot() []MetricValue {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MetricValue, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, MetricValue{Name: name, Value: m.vals[name], Help: m.help[name]})
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (untyped metrics with optional HELP lines).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	for _, mv := range m.Snapshot() {
+		name := sanitizeMetricName(mv.Name)
+		if mv.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, mv.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, mv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps arbitrary registry names onto the Prometheus
+// identifier charset.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

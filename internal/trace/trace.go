@@ -1,0 +1,434 @@
+// Package trace is the deterministic observability layer for the
+// simulator stack. A Tracer collects spans, instant events, and counter
+// samples stamped in simulated picoseconds — never wall-clock — and
+// exports them as Chrome/Perfetto trace-event JSON plus a plain-text
+// timeline summary.
+//
+// The contract that makes this safe to thread through the scheduler is
+// zero perturbation: a nil *Tracer is the disabled state, every method
+// is a no-op on nil, and no emit site reads tracer state back into a
+// decision. A traced run therefore produces bit-identical Results to an
+// untraced one (pinned by TestTraceByteIdentity at the repo root).
+//
+// Timestamps come from the simulation clock. The kernel calls SetNow as
+// it advances, so layers without their own notion of time (the placement
+// engine, the tuner) stamp events at NowPs. Because the kernel is
+// single-threaded per run, events for one run arrive in a deterministic
+// order; the mutex only guards against accidental sharing across runs.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Track layout: one synthetic "process" per viewpoint so Perfetto groups
+// rows sensibly. Core rows live under PidMachine (tid = CoreTid(core)),
+// kernel-level events (timers, balance passes, counters) on TidKernel,
+// and per-task rows under PidTasks keyed by the task's scheduler PID.
+const (
+	PidMachine = 1 // scheduler view: one row per core + the kernel row
+	PidTasks   = 2 // task view: one row per task PID
+	TidKernel  = 0 // kernel row within PidMachine
+)
+
+// CoreTid maps a core index to its thread row under PidMachine,
+// offset past TidKernel.
+func CoreTid(core int) int { return core + 1 }
+
+// Arg is one key/value pair of event metadata. Args are a slice, not a
+// map, so the exported JSON field order is deterministic.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+type event struct {
+	ph    byte // 'X' span, 'i' instant, 'C' counter
+	cat   string
+	name  string
+	pid   int
+	tid   int
+	tsPs  int64
+	durPs int64
+	args  []Arg
+}
+
+type threadName struct {
+	pid, tid int
+	name     string
+}
+
+// Tracer is a deterministic event sink. The zero value is not used
+// directly: a nil *Tracer means tracing is disabled and every method is
+// a cheap no-op, so call sites guard nothing beyond the pointer itself.
+type Tracer struct {
+	mu       sync.Mutex
+	nowPs    int64
+	events   []event
+	procs    []Arg // pid -> process name, insertion order
+	threads  []threadName
+	seenProc map[int]bool
+	seenThrd map[int]map[int]bool
+}
+
+// New returns an enabled Tracer.
+func New() *Tracer {
+	return &Tracer{
+		seenProc: make(map[int]bool),
+		seenThrd: make(map[int]map[int]bool),
+	}
+}
+
+// SetNow advances the tracer's view of simulated time. The scheduler
+// kernel calls this as its event loop advances so that layers without a
+// clock of their own can stamp events with NowPs.
+func (t *Tracer) SetNow(ps int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nowPs = ps
+	t.mu.Unlock()
+}
+
+// NowPs reports the last simulated time seen via SetNow (0 on nil).
+func (t *Tracer) NowPs() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nowPs
+}
+
+// NameProcess labels a pid group in the exported trace (metadata event).
+// First call per pid wins.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seenProc[pid] {
+		return
+	}
+	t.seenProc[pid] = true
+	t.procs = append(t.procs, Arg{Key: name, Value: pid})
+}
+
+// NameThread labels a (pid, tid) row in the exported trace. First call
+// per row wins.
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seenThrd[pid] == nil {
+		t.seenThrd[pid] = make(map[int]bool)
+	}
+	if t.seenThrd[pid][tid] {
+		return
+	}
+	t.seenThrd[pid][tid] = true
+	t.threads = append(t.threads, threadName{pid: pid, tid: tid, name: name})
+}
+
+// Span records a complete ('X') event covering [startPs, endPs].
+func (t *Tracer) Span(cat, name string, pid, tid int, startPs, endPs int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if endPs < startPs {
+		endPs = startPs
+	}
+	t.mu.Lock()
+	t.events = append(t.events, event{ph: 'X', cat: cat, name: name, pid: pid, tid: tid, tsPs: startPs, durPs: endPs - startPs, args: args})
+	t.mu.Unlock()
+}
+
+// Instant records a point ('i') event at atPs.
+func (t *Tracer) Instant(cat, name string, pid, tid int, atPs int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, event{ph: 'i', cat: cat, name: name, pid: pid, tid: tid, tsPs: atPs, args: args})
+	t.mu.Unlock()
+}
+
+// InstantNow records a point event stamped at the tracer's current
+// simulated time — for layers that do not carry the clock themselves.
+func (t *Tracer) InstantNow(cat, name string, pid, tid int, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	now := t.nowPs
+	t.events = append(t.events, event{ph: 'i', cat: cat, name: name, pid: pid, tid: tid, tsPs: now, args: args})
+	t.mu.Unlock()
+}
+
+// Counter records a counter ('C') sample: one track named name whose
+// series are the args (e.g. runnable depth per core type).
+func (t *Tracer) Counter(name string, pid int, atPs int64, series ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, event{ph: 'C', cat: "counter", name: name, pid: pid, tid: TidKernel, tsPs: atPs, args: series})
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded events (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// psToUsec renders a picosecond stamp as the microsecond string the
+// trace-event format wants. Fixed six decimals keeps full ps precision
+// and byte-stable output.
+func psToUsec(ps int64) string {
+	neg := ps < 0
+	if neg {
+		ps = -ps
+	}
+	whole, frac := ps/1e6, ps%1e6
+	s := strconv.FormatInt(whole, 10) + "." + fmt.Sprintf("%06d", frac)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// writeValue marshals an arg value deterministically. Floats use the
+// shortest round-trip form; everything else defers to encoding/json.
+func writeValue(b *strings.Builder, v any) error {
+	switch x := v.(type) {
+	case float64:
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		return nil
+	case float32:
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 32))
+		return nil
+	case int:
+		b.WriteString(strconv.Itoa(x))
+		return nil
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+		return nil
+	case uint64:
+		b.WriteString(strconv.FormatUint(x, 10))
+		return nil
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+		return nil
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b.Write(blob)
+	return nil
+}
+
+func writeArgs(b *strings.Builder, args []Arg) error {
+	b.WriteString("{")
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		key, err := json.Marshal(a.Key)
+		if err != nil {
+			return err
+		}
+		b.Write(key)
+		b.WriteString(":")
+		if err := writeValue(b, a.Value); err != nil {
+			return err
+		}
+	}
+	b.WriteString("}")
+	return nil
+}
+
+// WriteJSON exports the trace in Chrome trace-event format
+// ({"traceEvents":[...]}): metadata names first, then events in the
+// order they were recorded. Output is byte-stable for a given run.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+		}
+		first = false
+	}
+	for _, p := range t.procs {
+		sep()
+		name, _ := json.Marshal(p.Key)
+		fmt.Fprintf(&b, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`, p.Value, name)
+	}
+	for _, th := range t.threads {
+		sep()
+		name, _ := json.Marshal(th.name)
+		fmt.Fprintf(&b, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`, th.pid, th.tid, name)
+	}
+	for _, e := range t.events {
+		sep()
+		name, err := json.Marshal(e.name)
+		if err != nil {
+			return err
+		}
+		cat, err := json.Marshal(e.cat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"%c","ts":%s,`, name, cat, e.ph, psToUsec(e.tsPs))
+		if e.ph == 'X' {
+			fmt.Fprintf(&b, `"dur":%s,`, psToUsec(e.durPs))
+		}
+		if e.ph == 'i' {
+			b.WriteString(`"s":"t",`)
+		}
+		fmt.Fprintf(&b, `"pid":%d,"tid":%d,"args":`, e.pid, e.tid)
+		if err := writeArgs(&b, e.args); err != nil {
+			return err
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile exports the trace to path (created or truncated).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary renders a plain-text timeline: per-core busy fraction bars
+// over the traced span, then event counts by category. It reads only
+// span events under PidMachine for the bars, so it works on any trace
+// the scheduler kernel produced.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace: disabled\n"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return "trace: no events\n"
+	}
+	var minPs, maxPs int64
+	minPs = int64(1<<62 - 1)
+	for _, e := range t.events {
+		if e.tsPs < minPs {
+			minPs = e.tsPs
+		}
+		if end := e.tsPs + e.durPs; end > maxPs {
+			maxPs = end
+		}
+	}
+	span := maxPs - minPs
+	if span <= 0 {
+		span = 1
+	}
+
+	const cols = 60
+	shade := []rune(" ░▒▓█")
+	// Per-core busy accumulation into fixed-width buckets.
+	busy := map[int][]float64{}
+	var cores []int
+	for _, e := range t.events {
+		if e.ph != 'X' || e.pid != PidMachine || e.tid == TidKernel {
+			continue
+		}
+		if busy[e.tid] == nil {
+			busy[e.tid] = make([]float64, cols)
+			cores = append(cores, e.tid)
+		}
+		start, end := e.tsPs-minPs, e.tsPs-minPs+e.durPs
+		for c := 0; c < cols; c++ {
+			bs := minI64(span*int64(c)/cols, span)
+			be := span * int64(c+1) / cols
+			lo, hi := maxI64(start, bs), minI64(end, be)
+			if hi > lo && be > bs {
+				busy[e.tid][c] += float64(hi-lo) / float64(be-bs)
+			}
+		}
+	}
+	sort.Ints(cores)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %.3f ms simulated\n", len(t.events), float64(span)/1e9)
+	for _, tid := range cores {
+		fmt.Fprintf(&b, "  core %-3d |", tid-1)
+		for _, f := range busy[tid] {
+			if f > 1 {
+				f = 1
+			}
+			b.WriteRune(shade[int(f*float64(len(shade)-1)+0.5)])
+		}
+		b.WriteString("|\n")
+	}
+
+	counts := map[string]int{}
+	var cats []string
+	for _, e := range t.events {
+		key := e.cat + "/" + e.name
+		if counts[key] == 0 {
+			cats = append(cats, key)
+		}
+		counts[key]++
+	}
+	sort.Strings(cats)
+	b.WriteString("  events by kind:\n")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "    %-24s %d\n", c, counts[c])
+	}
+	return b.String()
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -19,6 +19,7 @@ import (
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/phase"
 	"phasetune/internal/place"
+	"phasetune/internal/trace"
 )
 
 // Mode selects the runtime behavior of phase marks.
@@ -124,6 +125,7 @@ type Tuner struct {
 	cur     phase.Type
 	mon     monitorState
 	allMask uint64
+	tr      *trace.Tracer
 
 	// SwitchRequests counts affinity calls issued (diagnostics; actual
 	// migrations are counted by the kernel).
@@ -138,6 +140,11 @@ type Tuner struct {
 type markTable interface {
 	MarkType(id int) phase.Type
 }
+
+// SetTracer attaches a trace sink to this tuner (nil disables). The
+// shared spill engine's tracer is attached by the run driver that owns
+// the engine.
+func (tu *Tuner) SetTracer(tr *trace.Tracer) { tu.tr = tr }
 
 // NewTuner builds the runtime for one process.
 func NewTuner(cfg Config, machine *amp.Machine, hw *perfcnt.Hardware, marks markTable) *Tuner {
@@ -299,6 +306,15 @@ func (tu *Tuner) decide(pt phase.Type, tbl *typeTable) {
 			tbl.mask = amp.CoreMask(cores[0])
 		} else {
 			tbl.mask = tu.machine.TypeMask(tbl.target)
+		}
+		// The spill path's decision is traced inside engine.Decide; the
+		// plain pin-to-type path reports its rationale here.
+		if tu.tr != nil {
+			tu.tr.InstantNow("place", "decide", trace.PidTasks, tu.pid,
+				trace.Arg{Key: "ipc", Value: append([]float64(nil), f...)},
+				trace.Arg{Key: "choice", Value: tu.machine.Types[tbl.target].Name},
+				trace.Arg{Key: "delta", Value: tu.cfg.Delta},
+				trace.Arg{Key: "phase", Value: int(pt)})
 		}
 	}
 	tu.Decisions[pt] = tbl.target

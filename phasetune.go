@@ -70,6 +70,7 @@ import (
 	"phasetune/internal/prog"
 	"phasetune/internal/serve"
 	"phasetune/internal/sim"
+	"phasetune/internal/trace"
 	"phasetune/internal/transition"
 	"phasetune/internal/tuning"
 	"phasetune/internal/workload"
@@ -290,7 +291,16 @@ type (
 	// ServingStats summarizes a serving run: admission/completion counts,
 	// exact sojourn quantiles, and overcommit evidence.
 	ServingStats = serve.Stats
+	// Tracer is the deterministic event sink attached with WithTrace: it
+	// records spans, instants, and counter tracks stamped in simulated
+	// time and exports Chrome/Perfetto trace-event JSON (WriteFile /
+	// WriteJSON) or a plain-text timeline (Summary). A nil *Tracer is the
+	// disabled state; tracing never perturbs a run.
+	Tracer = trace.Tracer
 )
+
+// NewTracer returns an enabled run tracer (see WithTrace).
+func NewTracer() *Tracer { return trace.New() }
 
 // Arrival process kinds (ArrivalSpec.Kind).
 const (

@@ -112,6 +112,7 @@ type Session struct {
 	cache     *ImageCache
 	workers   int
 	events    Events
+	tracer    *Tracer
 
 	// suiteOnce lazily generates the benchmark suite for (cost, machine),
 	// shared by every run whose spec describes its workload as Queues.
@@ -182,6 +183,18 @@ func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n 
 
 // WithEvents installs per-run progress hooks.
 func WithEvents(e Events) SessionOption { return func(s *Session) { s.events = e } }
+
+// WithTrace attaches a deterministic event tracer to the session's runs:
+// scheduler bursts, placement decisions with their rationale, online
+// window closes, mark boundaries, and per-task lifetime spans, stamped in
+// simulated time. Tracing never perturbs a run — a traced run's Result is
+// bit-identical to an untraced one. Export with Tracer.WriteFile
+// (Chrome/Perfetto trace-event JSON) or Tracer.Summary (plain text).
+//
+// One tracer should observe one run at a time: concurrent sweep runs
+// sharing a tracer interleave their events nondeterministically, so
+// attach a tracer to sessions used for single Run calls.
+func WithTrace(tr *Tracer) SessionOption { return func(s *Session) { s.tracer = tr } }
 
 // NewSession builds a session from functional options:
 //
@@ -356,6 +369,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 		Seed:        spec.Seed,
 		Cache:       s.cache,
 		Events:      s.events,
+		Trace:       s.tracer,
 	}, nil
 }
 

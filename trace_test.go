@@ -1,0 +1,125 @@
+package phasetune_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"phasetune"
+)
+
+// traceSpec is the serving run the tracing contract is pinned on: open
+// arrivals, overcommit, and the hybrid policy — the configuration that
+// exercises every emit site (dispatch, placement, windows, re-decisions,
+// admission timers).
+func traceSpec(machine *phasetune.Machine) phasetune.RunSpec {
+	arr := phasetune.ServingArrivals(machine, phasetune.ArrivalPoisson, 1.2, 6)
+	return phasetune.RunSpec{Arrivals: &arr, DurationSec: 8, Policy: phasetune.PolicyHybrid, Seed: 3}
+}
+
+func traceSession(machine *phasetune.Machine, tr *phasetune.Tracer) *phasetune.Session {
+	return phasetune.NewSession(
+		phasetune.WithMachine(machine),
+		phasetune.WithOvercommit(phasetune.OvercommitConfig{Enabled: true}),
+		phasetune.WithTrace(tr),
+	)
+}
+
+// TestTracedRunByteIdenticalToUntraced is the tracing layer's load-bearing
+// contract: attaching a tracer never perturbs the simulation. A traced
+// serving run must produce a Result whose canonical encoding — the same
+// bytes the dist fabric commits — is identical to the untraced run's, and
+// the trace itself must be byte-stable across repeat runs.
+func TestTracedRunByteIdenticalToUntraced(t *testing.T) {
+	machine := phasetune.QuadAMP()
+	spec := traceSpec(machine)
+
+	plain, err := traceSession(machine, nil).RunContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := phasetune.NewTracer()
+	traced, err := traceSession(machine, tr).RunContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, plain), encode(t, traced)) {
+		t.Error("traced run's Result differs from untraced run — tracing perturbed the simulation")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer captured no events from a serving run")
+	}
+
+	// Same spec, fresh tracer: the exported trace is bit-identical.
+	tr2 := phasetune.NewTracer()
+	if _, err := traceSession(machine, tr2).RunContext(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2 bytes.Buffer
+	if err := tr.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("two traced runs of the same spec exported different trace bytes")
+	}
+}
+
+// TestTraceExportShape pins the acceptance shape of an exported serving
+// trace: at least one lifetime span per task, at least one placement
+// decision with its rationale attached, and the runnable-depth counter
+// track.
+func TestTraceExportShape(t *testing.T) {
+	machine := phasetune.QuadAMP()
+	tr := phasetune.NewTracer()
+	res, err := traceSession(machine, tr).RunContext(context.Background(), traceSpec(machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	taskSpans, decides, counters := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Cat == "task":
+			taskSpans++
+		case ev.Name == "decide" && ev.Ph == "i":
+			decides++
+			for _, key := range []string{"ipc", "choice", "delta"} {
+				if _, ok := ev.Args[key]; !ok {
+					t.Errorf("decide instant missing rationale field %q: %+v", key, ev.Args)
+				}
+			}
+		case ev.Ph == "C" && ev.Name == "runnable":
+			counters++
+		}
+	}
+	if taskSpans < len(res.Tasks) {
+		t.Errorf("%d task lifetime spans for %d tasks", taskSpans, len(res.Tasks))
+	}
+	if decides == 0 {
+		t.Error("no placement-decision instants in a hybrid serving trace")
+	}
+	if counters == 0 {
+		t.Error("no runnable-depth counter samples")
+	}
+}
