@@ -11,7 +11,7 @@
 //	       [-duration 400] [-seed 5] [-machine quad|tri|hex] [-delta 0.06]
 //	       [-technique loop] [-min 45] [-window 8000] [-alt N]
 //	       [-arrivals poisson|bursty|diurnal] [-load 1.0] [-progress]
-//	       [-trace out.json]
+//	       [-trace out.json] [-ledger out.json]
 //
 // -policy selects the placement policy (default static). -spill enables
 // capacity-aware spill arbitration in the static runtime (the shared
@@ -36,10 +36,17 @@
 // The path is created up front so a bad path fails before the run, and
 // tracing never perturbs the simulation: a traced run produces the same
 // Result as an untraced one.
+//
+// -ledger writes the run's conserved cycle ledger (every core-cycle
+// attributed to useful/asymmetry/spill/overhead/idle categories, with
+// per-task, per-phase, and per-core rollups) as JSON. Like -trace, the
+// path is validated up front and accounting never perturbs the run. The
+// file diffs against another run with `runcmp -a one.json -b other.json`.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +77,7 @@ func main() {
 	load := flag.Float64("load", 1.0, "serving offered load in multiples of machine capacity (with -arrivals)")
 	progress := flag.Bool("progress", false, "print simulated-time progress")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this path")
+	ledgerPath := flag.String("ledger", "", "write the run's conserved cycle ledger JSON to this path")
 	flag.Parse()
 
 	loadSet := false
@@ -85,7 +93,7 @@ func main() {
 		machine: *machineFlag, delta: *delta, technique: *technique,
 		minSize: *minSize, window: *window, drift: *drift, alt: *alt,
 		arrivals: *arrivals, load: *load, loadSet: loadSet,
-		progress: *progress, trace: *tracePath,
+		progress: *progress, trace: *tracePath, ledger: *ledgerPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsim:", err)
 		os.Exit(1)
@@ -109,6 +117,7 @@ type options struct {
 	loadSet                    bool
 	progress                   bool
 	trace                      string
+	ledger                     string
 }
 
 // validate rejects flag combinations that would otherwise run zero jobs (or
@@ -119,6 +128,9 @@ func (o options) validate() error {
 	}
 	if o.trace != "" && o.mode == "overhead" {
 		return fmt.Errorf("-trace does not support -mode overhead (isolation runs are untraced); pick a -policy instead")
+	}
+	if o.ledger != "" && o.mode == "overhead" {
+		return fmt.Errorf("-ledger does not support -mode overhead (isolation runs are unaccounted); pick a -policy instead")
 	}
 	if o.arrivals != "" {
 		if _, err := phasetune.ParseArrivalKind(o.arrivals); err != nil {
@@ -155,6 +167,13 @@ func run(o options) error {
 		f, err := os.Create(o.trace)
 		if err != nil {
 			return fmt.Errorf("-trace: %w", err)
+		}
+		f.Close()
+	}
+	if o.ledger != "" {
+		f, err := os.Create(o.ledger)
+		if err != nil {
+			return fmt.Errorf("-ledger: %w", err)
 		}
 		f.Close()
 	}
@@ -285,6 +304,9 @@ func run(o options) error {
 		tracer = phasetune.NewTracer()
 		sessOpts = append(sessOpts, phasetune.WithTrace(tracer))
 	}
+	if o.ledger != "" {
+		sessOpts = append(sessOpts, phasetune.WithLedger())
+	}
 	sess := phasetune.NewSession(sessOpts...)
 	res, err := sess.RunContext(ctx, spec)
 	if o.progress {
@@ -358,6 +380,24 @@ func run(o options) error {
 		}
 		fmt.Printf("\n%s\nwrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
 			tracer.Summary(), tracer.Len(), o.trace)
+	}
+	if o.ledger != "" {
+		l := res.Ledger
+		if l == nil {
+			return fmt.Errorf("-ledger: run produced no ledger")
+		}
+		if err := l.Verify(); err != nil {
+			return fmt.Errorf("-ledger: %w", err)
+		}
+		blob, err := json.MarshalIndent(l, "", "  ")
+		if err != nil {
+			return fmt.Errorf("-ledger: %w", err)
+		}
+		if err := os.WriteFile(o.ledger, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("-ledger: %w", err)
+		}
+		fmt.Printf("\nwrote conserved cycle ledger to %s (%d tasks, %d cores; diff with runcmp)\n",
+			o.ledger, len(l.PerTask), l.Cores)
 	}
 	return nil
 }

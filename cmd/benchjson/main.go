@@ -15,10 +15,13 @@
 // `cmd/experiments -run breakdown -benchout` render as misprediction-cost
 // heatmaps after the timing series, `serving` entries appended by
 // `cmd/experiments -run serving -benchout` render as latency quantile
-// strips, and entries of kinds this build does not know are called out by
+// strips, `ledger` entries appended by `cmd/experiments -run showdown
+// -ledger -benchout` render as per-policy cycle-attribution stacked bars,
+// and entries of kinds this build does not know are called out by
 // kind and count rather than silently skipped. The regression gate
-// compares the last two *timing* entries, so appending a breakdown map or
-// a serving summary never masks (or fakes) a benchmark regression. It exits
+// compares the last two *timing* entries, so appending a breakdown map, a
+// serving summary, or an attribution rollup never masks (or fakes) a
+// benchmark regression. It exits
 // non-zero when any benchmark regressed by more than -regression percent —
 // CI wires it as a soft-fail step so the performance trajectory is
 // inspected on every push without blocking unrelated work.
@@ -96,7 +99,7 @@ func runHistory(path string, regressionPct float64) error {
 	// charts as heatmaps, the latest serving entry as quantile strips,
 	// anything newer than this build is surfaced.
 	var timings []benchhist.Entry
-	var lastBreakdown, lastServing *benchhist.Entry
+	var lastBreakdown, lastServing, lastLedger *benchhist.Entry
 	unknown := map[string]int{}
 	for i := range hist.Entries {
 		e := hist.Entries[i]
@@ -107,6 +110,8 @@ func runHistory(path string, regressionPct float64) error {
 			lastBreakdown = &hist.Entries[i]
 		case benchhist.KindServing:
 			lastServing = &hist.Entries[i]
+		case benchhist.KindLedger:
+			lastLedger = &hist.Entries[i]
 		default:
 			unknown[e.Kind]++
 		}
@@ -188,6 +193,34 @@ func runHistory(path string, regressionPct float64) error {
 				fmt.Print(textplot.QuantileStrip(sv.Policies,
 					sv.P50Sec[li], sv.P99Sec[li], sv.P99Sec[li], sv.P999Sec[li], 48))
 			}
+		}
+	}
+
+	if lastLedger != nil {
+		fmt.Printf("\ncycle attribution (recorded %s): %% of machine time by policy\n",
+			lastLedger.Timestamp)
+		segments := []string{"useful", "asymmetry", "spill", "overhead", "idle"}
+		var machines []string
+		seen := map[string]bool{}
+		for _, r := range lastLedger.Ledger {
+			if !seen[r.Machine] {
+				seen[r.Machine] = true
+				machines = append(machines, r.Machine)
+			}
+		}
+		for _, machine := range machines {
+			var names []string
+			var vals [][]float64
+			for _, r := range lastLedger.Ledger {
+				if r.Machine != machine {
+					continue
+				}
+				names = append(names, r.Policy)
+				vals = append(vals, []float64{
+					r.UsefulPct, r.AsymmetryPct, r.SpillPct, r.OverheadPct, r.IdlePct})
+			}
+			fmt.Printf("\n%s\n", machine)
+			fmt.Print(textplot.StackedBars(names, segments, vals, 48))
 		}
 	}
 

@@ -7,8 +7,9 @@
 //	             switchcost|typing|threecore|showdown|window|breakdown|
 //	             serving|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
-//	            [-workers N] [-shards N] [-cachestats]
+//	            [-workers N] [-shards N] [-cachestats] [-ledger]
 //	            [-alts a,b,c] [-windows a,b,c] [-benchout FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment prints a paper-style table plus the paper's reported
 // numbers where applicable. -quick shrinks workload sizes for a fast pass.
@@ -36,6 +37,19 @@
 // the Chrome trace-event JSON timeline to the given path — one traced
 // run, outside the sweep, because concurrent cells would interleave
 // events nondeterministically. The path is validated (created) up front.
+//
+// -ledger enables conserved cycle accounting on every run: the showdown,
+// serving, and breakdown tables grow attribution columns decomposing each
+// cell's machine time (useful work, asymmetry loss, capacity spill,
+// instrumentation overhead, idle), and `-run showdown -ledger -benchout`
+// additionally appends the per-policy rollup as a `ledger` history entry
+// that `benchjson -history` renders as stacked bars. Accounting never
+// perturbs a run, so the timing columns are unchanged.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole invocation
+// (the CPU profile spans every sweep; the heap profile is taken after a
+// final GC at exit). Both paths are validated (created) up front, matching
+// -trace, so a bad path fails in milliseconds.
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -79,7 +94,35 @@ func main() {
 	windowsFlag := flag.String("windows", "", "breakdown: comma-separated window sizes in instructions (default 2000,4000,8000,16000,32000)")
 	benchout := flag.String("benchout", "", "breakdown: append the map to this measurement history (e.g. BENCH_sweep.json)")
 	traceFlag := flag.String("trace", "", "serving: write a Chrome trace-event JSON timeline of one representative serving run to this path")
+	ledgerFlag := flag.Bool("ledger", false, "enable conserved cycle accounting and print attribution columns")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after final GC) to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Validate the path up front like -trace; the profile itself is
+		// taken at exit, when the heap reflects the whole invocation.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(fmt.Errorf("-memprofile: %w", err))
+		}
+		f.Close()
+		defer writeMemProfile(*memprofile)
+	}
 
 	if *traceFlag != "" {
 		if *runFlag != "serving" {
@@ -110,6 +153,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Shards = *shards
+	cfg.Ledger = *ledgerFlag
 	if *seedsFlag != "" {
 		var seeds []uint64
 		for _, s := range strings.Split(*seedsFlag, ",") {
@@ -184,6 +228,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile records the heap after a final GC, so the profile shows
+// live retention rather than transient sweep garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+	}
 }
 
 func header(title string) {
@@ -403,6 +462,40 @@ func showdown(cfg experiments.Config) error {
 	}
 	fmt.Print(t.String())
 
+	if len(rows) > 0 && rows[0].HasLedger {
+		fmt.Println("\ncycle attribution — % of machine time (cores × horizon), conserved to 100%")
+		lt := textplot.NewTable("machine", "policy", "useful%", "asym%", "spill%", "ovh%", "idle%")
+		var ledgerRows []benchhist.LedgerRow
+		for _, r := range rows {
+			lt.AddRow(r.Machine, r.Policy.String(),
+				fmt.Sprintf("%.2f", r.UsefulPct),
+				fmt.Sprintf("%.2f", r.AsymmetryPct),
+				fmt.Sprintf("%.2f", r.SpillPct),
+				fmt.Sprintf("%.2f", r.OverheadPct),
+				fmt.Sprintf("%.2f", r.IdlePct))
+			ledgerRows = append(ledgerRows, benchhist.LedgerRow{
+				Machine: r.Machine, Policy: r.Policy.String(),
+				UsefulPct: r.UsefulPct, AsymmetryPct: r.AsymmetryPct,
+				SpillPct: r.SpillPct, OverheadPct: r.OverheadPct, IdlePct: r.IdlePct,
+			})
+		}
+		fmt.Print(lt.String())
+
+		if breakdownOpts.out != "" {
+			err := benchhist.Append(breakdownOpts.out, benchhist.Entry{
+				Kind:      benchhist.KindLedger,
+				Timestamp: time.Now().UTC().Format(time.RFC3339),
+				GoVersion: runtime.Version(),
+				MaxProcs:  runtime.GOMAXPROCS(0),
+				Ledger:    ledgerRows,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nappended ledger entry to %s\n", breakdownOpts.out)
+		}
+	}
+
 	fmt.Println()
 	cc, err := experiments.ShowdownCounterContention(cfg, 4)
 	if err != nil {
@@ -453,6 +546,20 @@ func breakdown(cfg experiments.Config) error {
 			fmt.Sprintf("%.0f", r.DynSwitches))
 	}
 	fmt.Print(t.String())
+
+	if len(res.Rows) > 0 && res.Rows[0].HasLedger {
+		fmt.Println("\nmisprediction attribution — % of machine time lost to slow-core placement (asym+spill)")
+		lt := textplot.NewTable("machine", "alt", "window", "static-asym%", "dyn-asym%", "dyn-monitor%")
+		for _, r := range res.Rows {
+			lt.AddRow(r.Machine,
+				fmt.Sprintf("%d", r.Alternations),
+				fmt.Sprintf("%d", r.WindowInstrs),
+				fmt.Sprintf("%.2f", r.StaticAsymmetryPct),
+				fmt.Sprintf("%.2f", r.DynAsymmetryPct),
+				fmt.Sprintf("%.3f", r.DynMonitorPct))
+		}
+		fmt.Print(lt.String())
+	}
 
 	// One heatmap per machine: rows = rates, cols = windows, cell =
 	// dynamic − static throughput delta in percentage points.
@@ -542,6 +649,25 @@ func serving(cfg experiments.Config) error {
 			fmt.Sprintf("%.0f", r.OvercommitSlices))
 	}
 	fmt.Print(t.String())
+
+	if len(rows) > 0 && rows[0].HasLedger {
+		fmt.Println("\nsojourn decomposition — summed task-seconds per seed: queueing vs service vs slicing")
+		lt := textplot.NewTable("machine", "load", "policy", "queueing(s)", "service(s)", "slicing(s)", "queue/service")
+		for _, r := range rows {
+			ratio := "-"
+			if r.ServiceSec > 0 {
+				ratio = fmt.Sprintf("%.2f", r.QueueingSec/r.ServiceSec)
+			}
+			lt.AddRow(r.Machine,
+				fmt.Sprintf("%.2f", r.Load),
+				r.Policy.String(),
+				fmt.Sprintf("%.1f", r.QueueingSec),
+				fmt.Sprintf("%.1f", r.ServiceSec),
+				fmt.Sprintf("%.2f", r.SlicingSec),
+				ratio)
+		}
+		fmt.Print(lt.String())
+	}
 
 	// One quantile strip per (machine, load): the policies' latency tails
 	// on a shared axis, where the separation at load >= 1x is visible.

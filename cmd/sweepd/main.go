@@ -15,6 +15,13 @@
 // Worker:
 //
 //	sweepd -worker -connect http://127.0.0.1:7077 [-name NAME]
+//	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write Go pprof profiles of the worker
+// process — the process that actually burns the simulation cycles, so
+// that is where profiling answers "where does fabric wall-time go". Both
+// paths are validated up front (like -out) and both flags are rejected
+// in coordinator mode, whose process only shuffles JSON.
 //
 // -spawn N forks N worker subprocesses of this same binary against the
 // coordinator, so a one-machine fleet is a single command:
@@ -42,6 +49,8 @@ import (
 	"net/http"
 	"os"
 	osexec "os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -70,11 +79,15 @@ func main() {
 		spawn       = flag.Int("spawn", 0, "fork N local worker subprocesses")
 		verify      = flag.Bool("verify", false, "rerun sequentially and require byte-identical results")
 		out         = flag.String("out", "", "write merged results JSON to this path")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the worker process to this path")
+		memprofile  = flag.String("memprofile", "", "write a heap profile of the worker process at exit to this path")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
+	case (*cpuprofile != "" || *memprofile != "") && !*worker:
+		err = fmt.Errorf("-cpuprofile/-memprofile only apply in -worker mode (the worker process runs the simulations)")
 	case *coordinator && !*worker:
 		err = runCoordinator(coordOpts{
 			addr: *addr, campaign: *campaign, machine: *machineFlag,
@@ -85,7 +98,7 @@ func main() {
 		if *connect == "" {
 			err = fmt.Errorf("-worker needs -connect URL")
 		} else {
-			err = runWorker(*connect, *name)
+			err = runWorker(*connect, *name, *cpuprofile, *memprofile)
 		}
 	default:
 		err = fmt.Errorf("pick exactly one of -coordinator or -worker")
@@ -293,7 +306,31 @@ func verifyAgainstSequential(camp dist.Campaign, raws []json.RawMessage) error {
 	return nil
 }
 
-func runWorker(url, name string) error {
+func runWorker(url, name, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memprofile != "" {
+		// Validate the path now so a typo fails before the campaign, not
+		// after it; the real profile is written at exit.
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		f.Close()
+		defer writeHeapProfile(memprofile)
+	}
 	w := &dist.Worker{Name: name, Transport: &dist.Client{BaseURL: url}}
 	fmt.Printf("sweepd: worker %q connecting to %s\n", name, url)
 	if err := w.Run(context.Background()); err != nil {
@@ -301,4 +338,19 @@ func runWorker(url, name string) error {
 	}
 	fmt.Printf("sweepd: worker %q done\n", name)
 	return nil
+}
+
+// writeHeapProfile snapshots the heap after a final GC. Failures are
+// reported, not fatal: the campaign's results already committed.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd: -memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd: -memprofile:", err)
+	}
 }

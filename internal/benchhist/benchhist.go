@@ -31,6 +31,8 @@ const (
 	KindBreakdown = "breakdown"
 	// KindServing marks an open-system serving latency entry.
 	KindServing = "serving"
+	// KindLedger marks a cycle-attribution entry.
+	KindLedger = "ledger"
 )
 
 // Benchmark is one recorded timing measurement.
@@ -110,13 +112,37 @@ type Serving struct {
 	PeakRunnable []int `json:"peak_runnable"`
 }
 
+// LedgerRow is one (machine, policy) cycle-attribution rollup recorded by
+// `cmd/experiments -run showdown -ledger -benchout`: the showdown cell's
+// total machine time (cores × horizon) decomposed in percent, averaged
+// over the campaign seeds. The five columns sum to 100 up to rounding, so
+// history renderers can draw each row as one stacked bar.
+type LedgerRow struct {
+	// Machine is the machine name.
+	Machine string `json:"machine"`
+	// Policy is the placement-policy column name.
+	Policy string `json:"policy"`
+	// UsefulPct is work at the machine's fastest clock.
+	UsefulPct float64 `json:"useful_pct"`
+	// AsymmetryPct is loss to mispredicted slow-core placement.
+	AsymmetryPct float64 `json:"asymmetry_pct"`
+	// SpillPct is loss while knowingly spilled by capacity arbitration.
+	SpillPct float64 `json:"spill_pct"`
+	// OverheadPct sums the instrumentation taxes: marks, monitoring,
+	// migration, context switch, overcommit slicing.
+	OverheadPct float64 `json:"overhead_pct"`
+	// IdlePct is unclaimed core time.
+	IdlePct float64 `json:"idle_pct"`
+}
+
 // Entry is one producer invocation.
 type Entry struct {
 	Schema string `json:"schema,omitempty"`
 	// Kind discriminates the payload: "" = benchmark timings (Benchmarks,
 	// Derived), "breakdown" = breakdown maps (Breakdown), "serving" =
-	// serving latency summaries (Serving). Consumers must treat unknown
-	// kinds as data to be surfaced, not silently dropped.
+	// serving latency summaries (Serving), "ledger" = cycle-attribution
+	// rollups (Ledger). Consumers must treat unknown kinds as data to be
+	// surfaced, not silently dropped.
 	Kind       string             `json:"kind,omitempty"`
 	Timestamp  string             `json:"timestamp,omitempty"`
 	GoVersion  string             `json:"go_version,omitempty"`
@@ -126,6 +152,7 @@ type Entry struct {
 	Derived    map[string]float64 `json:"derived,omitempty"`
 	Breakdown  []Breakdown        `json:"breakdown,omitempty"`
 	Serving    []Serving          `json:"serving,omitempty"`
+	Ledger     []LedgerRow        `json:"ledger,omitempty"`
 }
 
 // History is the file format: one entry per invocation, oldest first.

@@ -17,6 +17,16 @@ func TestAppendRoundTripsMixedKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := Append(path, Entry{
+		Kind: KindLedger,
+		Ledger: []LedgerRow{{
+			Machine: "hex-2b2m2l", Policy: "hybrid",
+			UsefulPct: 61.5, AsymmetryPct: 10.25, SpillPct: 3,
+			OverheadPct: 0.25, IdlePct: 25,
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, Entry{
 		Kind: KindBreakdown,
 		Breakdown: []Breakdown{{
 			Machine:         "quad-2f2s",
@@ -30,18 +40,46 @@ func TestAppendRoundTripsMixedKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := Load(path)
-	if h.Schema != HistorySchema || len(h.Entries) != 2 {
+	if h.Schema != HistorySchema || len(h.Entries) != 3 {
 		t.Fatalf("loaded %d entries under schema %q", len(h.Entries), h.Schema)
 	}
 	if h.Entries[0].Kind != KindBench || len(h.Entries[0].Benchmarks) != 1 {
 		t.Errorf("timing entry mangled: %+v", h.Entries[0])
 	}
-	bd := h.Entries[1]
+	lg := h.Entries[1]
+	if lg.Kind != KindLedger || len(lg.Ledger) != 1 {
+		t.Fatalf("ledger entry mangled: %+v", lg)
+	}
+	if row := lg.Ledger[0]; row.Policy != "hybrid" || row.UsefulPct != 61.5 || row.IdlePct != 25 {
+		t.Errorf("ledger payload mangled: %+v", row)
+	}
+	bd := h.Entries[2]
 	if bd.Kind != KindBreakdown || len(bd.Breakdown) != 1 {
 		t.Fatalf("breakdown entry mangled: %+v", bd)
 	}
 	if bd.Breakdown[0].DeltaPct[1][1] != -8 || bd.Breakdown[0].BreakEvenWindow[0] != 32000 {
 		t.Errorf("breakdown payload mangled: %+v", bd.Breakdown[0])
+	}
+}
+
+// TestUnknownKindSurvivesAppend pins the forward-compatibility contract
+// on Kind: an entry recorded by a newer producer under a kind this build
+// does not know must ride through Load/Append untouched, not be dropped
+// or re-labeled.
+func TestUnknownKindSurvivesAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := Append(path, Entry{Kind: "future-thing", GoVersion: "go-next"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, Entry{Benchmarks: []Benchmark{{Name: "grid", NsPerOp: 7, Reps: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	h := Load(path)
+	if len(h.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(h.Entries))
+	}
+	if h.Entries[0].Kind != "future-thing" || h.Entries[0].GoVersion != "go-next" {
+		t.Errorf("unknown-kind entry mangled: %+v", h.Entries[0])
 	}
 }
 

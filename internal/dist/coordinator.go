@@ -159,6 +159,7 @@ type Coordinator struct {
 
 	mu         sync.Mutex
 	queue      []int // spec indices awaiting dispatch
+	grantedAt  map[int]time.Time
 	results    []json.RawMessage
 	remaining  int
 	leases     map[string]*lease
@@ -196,6 +197,7 @@ func NewCoordinator(camp Campaign, opts Options) (*Coordinator, error) {
 		results:   make([]json.RawMessage, len(camp.Specs)),
 		remaining: len(camp.Specs),
 		queue:     make([]int, len(camp.Specs)),
+		grantedAt: map[int]time.Time{},
 		leases:    map[string]*lease{},
 		workers:   map[string]*workerState{},
 		failIndex: len(camp.Specs),
@@ -312,6 +314,10 @@ func (c *Coordinator) Lease(workerID string) (*LeaseReply, error) {
 	l := &lease{worker: workerID, pending: map[int]bool{}, deadline: now.Add(c.opts.LeaseTTL)}
 	for _, idx := range indices {
 		l.pending[idx] = true
+		// Stamp the grant for the commit round-trip histogram; a re-grant
+		// after expiry restarts the clock, so the histogram measures the
+		// grant that actually produced the committed result.
+		c.grantedAt[idx] = now
 	}
 	c.leases[id] = l
 	c.met.Inc("leases_granted_total", 1)
@@ -359,6 +365,10 @@ func (c *Coordinator) Commit(req CommitRequest) (*CommitReply, error) {
 	c.remaining--
 	ws.commits++
 	c.met.Inc("commits_total", 1)
+	if granted, ok := c.grantedAt[req.Index]; ok {
+		c.met.Observe("commit_roundtrip_us", now.Sub(granted).Microseconds())
+		delete(c.grantedAt, req.Index)
+	}
 	// Retire the index everywhere it may still be scheduled: its own
 	// lease, any re-dispatched lease, and the pending queue.
 	for id, l := range c.leases {

@@ -76,6 +76,12 @@ func (c *Coordinator) describeMetrics() {
 	} {
 		c.met.Describe(d.name, d.help)
 	}
+	// Fixed bounds keep the exported bucket lines identical across runs;
+	// they span the fabric's realistic grant-to-commit range, from a local
+	// transport round-trip (sub-millisecond) to a lease-TTL straggler.
+	c.met.DescribeHistogram("commit_roundtrip_us",
+		"microseconds from lease grant to accepted commit, per spec",
+		[]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000})
 }
 
 // WriteMetrics exports the fabric counters in Prometheus text format (the

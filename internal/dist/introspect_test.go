@@ -76,6 +76,7 @@ func TestWriteMetricsCountsFabricEvents(t *testing.T) {
 	// Expire the lease, re-lease, then commit twice (second is duplicate).
 	clock.Advance(11 * time.Second)
 	lr2, _ := coord.Lease(r1.WorkerID)
+	clock.Advance(2 * time.Second)
 	raw := runSpecRaw(t, camp, 0)
 	if rep, _ := coord.Commit(CommitRequest{WorkerID: r1.WorkerID, LeaseID: lr2.LeaseID, Index: 0, Result: raw}); rep.Status != CommitOK {
 		t.Fatalf("commit = %+v", rep)
@@ -99,6 +100,14 @@ func TestWriteMetricsCountsFabricEvents(t *testing.T) {
 		"specs_total 1",
 		"specs_done 1",
 		"# HELP commits_total",
+		// The accepted commit landed 2s (2e6 µs) after its re-grant, so it
+		// falls in the (1e6, 1e7] bucket; the duplicate observes nothing.
+		"# TYPE commit_roundtrip_us histogram",
+		`commit_roundtrip_us_bucket{le="1000000"} 0`,
+		`commit_roundtrip_us_bucket{le="10000000"} 1`,
+		`commit_roundtrip_us_bucket{le="+Inf"} 1`,
+		"commit_roundtrip_us_sum 2000000",
+		"commit_roundtrip_us_count 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics export missing %q:\n%s", want, out)

@@ -60,8 +60,11 @@ import (
 // the open-system serving form (workload.Spec.Arrivals lowering to a
 // stream run, osched.Config.Overcommit in the environment) and the
 // overcommit fields in result encodings (sim.Result.PeakRunnable,
-// OvercommitSlices).
-const SpecVersion = 4
+// OvercommitSlices); v5 added campaign-wide cycle accounting
+// (EnvSpec.Ledger lowering to sim.RunConfig.Ledger) and the ledger
+// rollup in result encodings (sim.Result.Ledger), which must merge
+// byte-identically like every other Result field.
+const SpecVersion = 5
 
 // EnvSpec is the serialized session environment: everything a worker needs
 // to rebuild the simulation stack that is shared by every run of a
@@ -80,6 +83,11 @@ type EnvSpec struct {
 	Sched osched.Config `json:"sched"`
 	// Typing configures static block typing.
 	Typing phase.Options `json:"typing"`
+	// Ledger enables conserved cycle accounting on every run of the
+	// campaign (sim.RunConfig.Ledger). Campaign-wide rather than per-spec:
+	// attribution columns only mean something when every cell of a grid
+	// carries them.
+	Ledger bool `json:"ledger,omitempty"`
 }
 
 // Validate checks the environment is structurally sound and speaks this
@@ -170,6 +178,7 @@ func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.Imag
 		TypingError: sp.TypingError,
 		Seed:        sp.Seed,
 		Cache:       cache,
+		Ledger:      e.Ledger,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"phasetune/internal/ledger"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/rng"
 )
@@ -63,6 +64,10 @@ type Process struct {
 	// Hook receives phase-mark events; nil disables mark processing beyond
 	// cost accounting.
 	Hook MarkHook
+	// Work, when non-nil, accumulates per-step cycle attribution for the
+	// run's ledger. The interpreter only writes to it — attribution never
+	// feeds back into execution, so an attached Work cannot perturb a run.
+	Work *ledger.Work
 
 	cm   *CostModel
 	rand *rng.Source
@@ -97,6 +102,15 @@ func NewProcess(pid int, img *Image, cm *CostModel, seed uint64, hook MarkHook) 
 // Exited reports whether the program has terminated.
 func (p *Process) Exited() bool { return p.exited }
 
+// SetSpilled records whether the placement engine currently holds the
+// process off its chosen core type, so the ledger can charge subsequent
+// asymmetry loss to the capacity-spill category. A no-op without a ledger.
+func (p *Process) SetSpilled(s bool) {
+	if p.Work != nil {
+		p.Work.SetSpilled(s)
+	}
+}
+
 // Step executes the current basic block on a core with the given parameters
 // and effective cache share, advances control flow, and returns the cost.
 // Step must not be called after the process has exited.
@@ -110,6 +124,12 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 			p.Counters.Add(uint64(p.cm.MarkInstrs), uint64(p.cm.MarkCycles))
 			res.Cycles += p.cm.MarkCycles
 			p.MarksExecuted++
+			if p.Work != nil {
+				// The mark opens a phase: attribute the mark payload and the
+				// block body that follows to the entered phase.
+				p.Work.SetPhase(int(p.Img.MarkType(int(mid))))
+				p.Work.AddMark(p.cm.MarkCycles * core.PsPerCycle)
+			}
 			if p.Hook != nil {
 				act := p.Hook.OnMark(p, int(mid), coreID)
 				if act.Mask != 0 {
@@ -121,9 +141,13 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 
 	// Block body cost.
 	cycles := info.baseCycles
+	var memCycles float64
 	if info.l1MissRefs > 0 {
 		miss := info.profile.MissRatio(shareKB)
 		cycles += info.l1MissRefs * (core.L2HitCycles + miss*core.MemCycles)
+		if p.Work != nil {
+			memCycles = info.l1MissRefs * miss * core.MemCycles
+		}
 	}
 	if info.syscall {
 		cycles += p.cm.SyscallCycles
@@ -131,6 +155,16 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 	ic := int64(cycles)
 	if ic < 1 && info.instrs > 0 {
 		ic = 1
+	}
+	if p.Work != nil {
+		// Ledger attribution: the DRAM portion of the block is wall-clock
+		// fixed (MemCycles ∝ frequency, PsPerCycle ∝ 1/frequency), so the
+		// fastest-clock counterfactual reprices only the compute portion.
+		comp := float64(ic) - memCycles
+		if comp < 0 {
+			comp = 0
+		}
+		p.Work.Add(ic*core.PsPerCycle, comp*float64(p.Work.FastPs())+memCycles*float64(core.PsPerCycle))
 	}
 	p.Counters.Add(uint64(info.instrs), uint64(ic))
 	if info.memRefs > 0 {

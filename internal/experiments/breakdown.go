@@ -78,6 +78,17 @@ type BreakdownRow struct {
 	// DynSwitches is the dynamic detector's mean reassignment count —
 	// rising switch volume as windows blend is the misprediction mechanism.
 	DynSwitches float64
+	// HasLedger reports whether the campaign carried cycle ledgers
+	// (Config.Ledger); the attribution columns below are zero without it.
+	HasLedger bool
+	// StaticAsymmetryPct and DynAsymmetryPct are the percent of total core
+	// time lost to slow-core placement (asymmetry plus capacity spill) under
+	// the static reference and the dynamic detector, and DynMonitorPct is
+	// the detector's charged sampling overhead on the same scale. They turn
+	// the map's throughput delta into its mechanism: rising DynAsymmetryPct
+	// at a fixed window is misprediction cost measured directly rather than
+	// inferred.
+	StaticAsymmetryPct, DynAsymmetryPct, DynMonitorPct float64
 }
 
 // BreakdownTolerancePct is the break-even tolerance of the frontier, in
@@ -202,12 +213,28 @@ func Breakdown(cfg Config, machines []*amp.Machine, alts []int, windows []uint64
 			}
 			return v / float64(len(mcfg.Seeds))
 		}
+		// ledgerPcts averages one policy's placement loss (asymmetry + spill)
+		// and monitoring overhead over seeds, as percents of total core time.
+		ledgerPcts := func(at int) (asym, mon float64, has bool) {
+			for k := 0; k < len(mcfg.Seeds); k++ {
+				if l := results[at+k].Ledger; l != nil && l.HorizonPs > 0 {
+					has = true
+					total := float64(l.Cores) * float64(l.HorizonPs)
+					asym += 100 * float64(l.Total.AsymmetryPs+l.Total.SpillPs) / total
+					mon += 100 * float64(l.Total.MonitorPs) / total
+				}
+			}
+			n := float64(len(mcfg.Seeds))
+			return asym / n, mon / n, has
+		}
 
 		for _, a := range alts {
 			rate := workload.AltSpec(a).AltRate(mcfg.Cost, machine)
 			base := tput()
+			staticAt := i
 			static := tput()
 			oracle := tput()
+			staticAsym, _, hasLedger := ledgerPcts(staticAt)
 			pct := func(v float64) float64 { return metrics.PercentIncrease(base, v) }
 
 			frontier := BreakdownFrontierRow{Machine: machine.Name, Alternations: a, Rate: rate}
@@ -227,6 +254,13 @@ func Breakdown(cfg Config, machines []*amp.Machine, alts []int, windows []uint64
 					OraclePct:    pct(oracle),
 					DeltaPct:     pct(dynamic) - pct(static),
 					DynSwitches:  onlineSwitches(dynAt),
+				}
+				if hasLedger {
+					dynAsym, dynMon, _ := ledgerPcts(dynAt)
+					row.HasLedger = true
+					row.StaticAsymmetryPct = staticAsym
+					row.DynAsymmetryPct = dynAsym
+					row.DynMonitorPct = dynMon
 				}
 				if row.DeltaPct >= -BreakdownTolerancePct && w > frontier.BreakEvenWindow {
 					frontier.BreakEvenWindow = w

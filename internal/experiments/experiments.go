@@ -63,6 +63,10 @@ type Config struct {
 	// Cache is the shared artifact cache; every driver's image
 	// preparations go through it.
 	Cache *sim.ImageCache
+	// Ledger enables conserved cycle accounting on every run of every
+	// driver (sim.RunConfig.Ledger via the environment wire form). The
+	// showdown and serving drivers then fill their attribution columns.
+	Ledger bool
 }
 
 // Default returns the configuration used throughout EXPERIMENTS.md.
@@ -108,7 +112,7 @@ func (c *Config) artifact(b *workload.Benchmark, params transition.Params) (*sim
 // iterating drivers guarantee.
 func (c *Config) Env() dist.EnvSpec {
 	return dist.EnvSpec{Version: dist.SpecVersion, Machine: *c.Machine, Cost: c.Cost,
-		Sched: c.Sched, Typing: c.Typing}
+		Sched: c.Sched, Typing: c.Typing, Ledger: c.Ledger}
 }
 
 // runCfg assembles one sweep cell in the fabric's wire form: the workload

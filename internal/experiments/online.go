@@ -119,6 +119,29 @@ type ShowdownRow struct {
 	// CounterDefers is the mean number of monitoring requests that found no
 	// free counter event set.
 	CounterDefers float64
+	// HasLedger reports whether the campaign ran with cycle accounting
+	// (Config.Ledger); the attribution columns below are zero without it.
+	HasLedger bool
+	// UsefulPct, AsymmetryPct, SpillPct, OverheadPct, and IdlePct decompose
+	// the machine's total core time (cores × horizon) in percent, averaged
+	// over seeds: work at the fastest clock, loss to mispredicted slow-core
+	// placement, loss to knowing capacity spills, the sum of the
+	// instrumentation taxes (marks, monitoring, migration, context switch,
+	// overcommit slicing), and unclaimed core time. The five columns sum to
+	// 100 up to rounding — the where-did-the-cycles-go answer per policy.
+	UsefulPct, AsymmetryPct, SpillPct, OverheadPct, IdlePct float64
+}
+
+// ParseShowdownPolicy maps a policy column name (the String form, e.g.
+// "static" or "hybrid/damped") back to its ShowdownPolicy — the CLI entry
+// point cmd/runcmp uses to diff two named policies.
+func ParseShowdownPolicy(name string) (ShowdownPolicy, error) {
+	for _, p := range ShowdownPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown showdown policy %q (want one of %v)", name, ShowdownPolicies())
 }
 
 // showdownRunCfg builds one wire spec for a policy on a machine-specific
@@ -250,6 +273,17 @@ func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 						row.MonitorPct += 100 * float64(res.Online.ChargedCycles) / float64(cycles)
 					}
 				}
+				if l := res.Ledger; l != nil && l.HorizonPs > 0 {
+					row.HasLedger = true
+					total := float64(l.Cores) * float64(l.HorizonPs)
+					overheadPs := l.Total.MarksPs + l.Total.MonitorPs +
+						l.Total.MigrationPs + l.Total.CtxSwitchPs + l.Total.SlicingPs
+					row.UsefulPct += 100 * float64(l.Total.UsefulPs) / total
+					row.AsymmetryPct += 100 * float64(l.Total.AsymmetryPs) / total
+					row.SpillPct += 100 * float64(l.Total.SpillPs) / total
+					row.OverheadPct += 100 * float64(overheadPs) / total
+					row.IdlePct += 100 * float64(l.Total.IdlePs) / total
+				}
 			}
 			n := float64(len(mcfg.Seeds))
 			row.Throughput = metrics.Mean(tputs)
@@ -265,10 +299,35 @@ func Showdown(cfg Config, machines []*amp.Machine) ([]ShowdownRow, error) {
 			row.Refreshes /= n
 			row.Damped /= n
 			row.CounterDefers /= n
+			row.UsefulPct /= n
+			row.AsymmetryPct /= n
+			row.SpillPct /= n
+			row.OverheadPct /= n
+			row.IdlePct /= n
 			rows = append(rows, row)
 		}
 	}
 	return rows, nil
+}
+
+// LedgerCell runs one showdown cell — one (machine, policy, seed) — with
+// cycle accounting forced on and returns the full result, ledger included.
+// cmd/runcmp uses it to rebuild the two sides of a policy diff without
+// sweeping the whole grid; cfg.Machine selects the machine and cfg.Suite
+// may be nil (it is regenerated here).
+func LedgerCell(cfg Config, p ShowdownPolicy, seed uint64) (*sim.Result, error) {
+	mcfg := cfg
+	mcfg.Ledger = true
+	suite, err := workload.Suite(mcfg.Cost, mcfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	mcfg.Suite = suite
+	results, err := mcfg.sweep([]dist.Spec{showdownRunCfg(mcfg, p, seed)})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // ShowdownContention reruns the probe showdown cell with a small bounded

@@ -6,6 +6,7 @@ import (
 	"phasetune/internal/amp"
 	"phasetune/internal/dist"
 	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
 	"phasetune/internal/serve"
 	"phasetune/internal/sim"
 	"phasetune/internal/trace"
@@ -78,6 +79,15 @@ type ServingRow struct {
 	// OvercommitSlices is the mean count of proportional-share-shortened
 	// dispatch slices.
 	OvercommitSlices float64
+	// HasLedger reports whether the campaign carried cycle ledgers
+	// (Config.Ledger); the sojourn decomposition below is zero without it.
+	HasLedger bool
+	// QueueingSec, ServiceSec, and SlicingSec decompose where admitted jobs'
+	// time went (mean per seed, simulated seconds, summed across jobs):
+	// waiting in run queues, occupying a core, and paying the overcommit
+	// slicing tax. A cell whose queueing dwarfs its service lost to convoys,
+	// not to slow execution — the oracle-convoy signature at overload.
+	QueueingSec, ServiceSec, SlicingSec float64
 }
 
 // servingConfig specializes the shared config to one serving machine:
@@ -183,11 +193,26 @@ func Serving(cfg Config, machines []*amp.Machine) ([]ServingRow, error) {
 						row.PeakRunnable = res.PeakRunnable
 					}
 					row.OvercommitSlices += float64(res.OvercommitSlices)
+					if l := res.Ledger; l != nil {
+						row.HasLedger = true
+						var queuePs, busyPs, slicePs int64
+						for _, t := range l.PerTask {
+							queuePs += t.QueuePs
+							busyPs += t.BusyPs()
+							slicePs += t.SlicingPs
+						}
+						row.QueueingSec += osched.PsToSec(queuePs)
+						row.ServiceSec += osched.PsToSec(busyPs - slicePs)
+						row.SlicingSec += osched.PsToSec(slicePs)
+					}
 				}
 				n := float64(nSeeds)
 				row.Admitted /= n
 				row.Completed /= n
 				row.OvercommitSlices /= n
+				row.QueueingSec /= n
+				row.ServiceSec /= n
+				row.SlicingSec /= n
 				qs := metrics.Quantiles(pooled, 0.50, 0.95, 0.99, 0.999)
 				row.P50, row.P95, row.P99, row.P999 = qs[0], qs[1], qs[2], qs[3]
 				row.MeanSojournSec = math.NaN()

@@ -161,6 +161,7 @@ func (h *hybridHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction
 	st.cur = pt
 	if pt == phase.Untyped {
 		m.engine.Leave(st.pid)
+		p.SetSpilled(false)
 		st.probing = false
 		return exec.MarkAction{}
 	}
@@ -171,10 +172,15 @@ func (h *hybridHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction
 	if dec := st.table.DecisionOf(int(pt)); dec != nil {
 		st.probing = false
 		m.engine.Enter(st.pid, *dec)
-		return m.request(st, m.engine.MaskFor(st.pid))
+		mask := m.engine.MaskFor(st.pid)
+		// Ledger attribution: the engine parking the task off its chosen
+		// type is a knowing spill, not a misprediction.
+		p.SetSpilled(mask != m.machine.TypeMask(dec.Choice))
+		return m.request(st, mask)
 	}
 	// Unmeasured phase: probe. Not a capacity claim until decided.
 	m.engine.Leave(st.pid)
+	p.SetSpilled(false)
 	st.probing = true
 	ct := st.table.LeastMeasured(int(pt), st.pid)
 	mask := m.machine.TypeMask(ct)
@@ -345,7 +351,9 @@ func (m *Hybrid) OnTick(k *osched.Kernel, atPs int64) {
 			continue
 		}
 		m.engine.Enter(st.pid, *dec)
-		m.apply(k, st, m.engine.MaskFor(st.pid))
+		mask := m.engine.MaskFor(st.pid)
+		st.proc.SetSpilled(mask != m.machine.TypeMask(dec.Choice))
+		m.apply(k, st, mask)
 	}
 }
 

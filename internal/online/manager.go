@@ -293,6 +293,9 @@ func (m *Manager) probeRebalance(k *osched.Kernel) {
 	}
 	assigned := m.engine.Arbitrate(claims)
 	for i, ts := range placed {
+		// Ledger attribution: arbitration overriding the task's own
+		// Algorithm 2 choice is a knowing spill, not a misprediction.
+		ts.task.Proc.SetSpilled(assigned[i] != claims[i].Dec.Choice)
 		m.apply(k, ts, m.machine.TypeMask(assigned[i]))
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"phasetune/internal/amp"
 	"phasetune/internal/cache"
 	"phasetune/internal/exec"
+	"phasetune/internal/ledger"
 	"phasetune/internal/perfcnt"
 	"phasetune/internal/trace"
 )
@@ -152,6 +153,8 @@ type Task struct {
 
 	core          int   // current core (queue membership or running)
 	pendingCycles int64 // penalty cycles charged at next run (switch costs)
+	pendMonitor   int64 // portion of pendingCycles that is monitoring cost (Penalize)
+	lastQueuedPs  int64 // when the task last became queued (ledger queue-wait accounting)
 	arriveHead    bool  // enqueue at the head on next arrival (mid-slice migration)
 }
 
@@ -258,6 +261,12 @@ type Kernel struct {
 	// never read tracer state back, so a traced run is bit-identical to an
 	// untraced one.
 	Trace *trace.Tracer
+	// Ledger, when set, receives conserved cycle-attribution charges at
+	// every dispatch-slice boundary. Like the tracer it is nil-safe and
+	// write-only from the kernel's perspective, so a ledgered run is
+	// bit-identical to an unledgered one. Spawn attaches a step-attribution
+	// accumulator (ledger.Work) to each process it admits.
+	Ledger *ledger.Collector
 
 	params  []exec.CoreParams
 	cores   []coreState
@@ -354,8 +363,15 @@ func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) 
 		CompletionPs: -1,
 		State:        TaskReady,
 		core:         -1,
+		lastQueuedPs: k.nowPs,
 	}
 	k.tasks = append(k.tasks, t)
+	if k.Ledger != nil {
+		k.Ledger.AddTask(p.PID, name)
+		if p.Work == nil {
+			p.Work = k.Ledger.Work()
+		}
+	}
 	k.live++
 	if k.live > k.peakLive {
 		k.peakLive = k.live
@@ -426,6 +442,12 @@ func (k *Kernel) enqueue(t *Task, core int) {
 	}
 	k.runnable[k.cores[core].typ]++
 	t.core = core
+	// A running task re-entering a queue starts a fresh queue wait; a task
+	// merely moved between queues (balance, SetAffinity) keeps the wait it
+	// already accumulated, so per-task queue time tiles the sojourn exactly.
+	if t.State == TaskRunning {
+		t.lastQueuedPs = k.nowPs
+	}
 	t.State = TaskReady
 	cs := &k.cores[core]
 	if t.arriveHead {
@@ -606,6 +628,7 @@ func (k *Kernel) dispatch(core int) {
 	t := cs.queue[0]
 	cs.queue = cs.queue[1:]
 	t.State = TaskRunning
+	queueWaitPs := k.nowPs - t.lastQueuedPs
 
 	par := &k.params[cs.typ]
 	sliceCycles := int64(k.Config.TimesliceSec * par.CyclesPerSec)
@@ -639,12 +662,16 @@ func (k *Kernel) dispatch(core int) {
 	// counters: under the scaled clock a monitored section is ~10^4 cycles
 	// where the paper's are ~10^10 (Fig. 5), so penalty cycles that are
 	// noise on real hardware would dominate simulated IPC measurements.
+	var migrateCycles, monitorCycles, ctxCycles int64
 	if t.pendingCycles > 0 {
+		monitorCycles = t.pendMonitor
+		migrateCycles = t.pendingCycles - monitorCycles
 		used += t.pendingCycles
-		t.pendingCycles = 0
+		t.pendingCycles, t.pendMonitor = 0, 0
 	}
 	if cs.lastTask != t && cs.lastTask != nil {
-		used += k.Config.ContextSwitchCycles
+		ctxCycles = k.Config.ContextSwitchCycles
+		used += ctxCycles
 	}
 	cs.lastTask = t
 
@@ -687,6 +714,29 @@ func (k *Kernel) dispatch(core int) {
 
 	elapsed := used * par.PsPerCycle
 	end := k.nowPs + elapsed
+	if k.Ledger != nil {
+		// Charge the burst: every category is an integer multiple of this
+		// core's PsPerCycle and used = penalties + ctx + Σ step cycles, so
+		// the categories tile [nowPs, end] exactly (elapsed distributes over
+		// the integer summands of used).
+		var segs []ledger.Segment
+		if t.Proc.Work != nil {
+			segs = t.Proc.Work.Drain()
+		}
+		k.Ledger.Charge(ledger.Burst{
+			Core:          core,
+			PID:           t.Proc.PID,
+			PsPerCycle:    par.PsPerCycle,
+			StartPs:       k.nowPs,
+			EndPs:         end,
+			QueuePs:       queueWaitPs,
+			MigrateCycles: migrateCycles,
+			MonitorCycles: monitorCycles,
+			CtxCycles:     ctxCycles,
+			Sliced:        ocScale < 1,
+			Segs:          segs,
+		})
+	}
 	if k.TraceBurst != nil {
 		k.TraceBurst(core, t, used, k.nowPs, end)
 	}
@@ -840,6 +890,7 @@ func (k *Kernel) removeFromQueue(t *Task) {
 func (k *Kernel) Penalize(t *Task, cycles int64) {
 	if cycles > 0 && t.State != TaskExited {
 		t.pendingCycles += cycles
+		t.pendMonitor += cycles
 	}
 }
 

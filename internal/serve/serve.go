@@ -26,6 +26,7 @@ import (
 
 	"phasetune/internal/amp"
 	"phasetune/internal/metrics"
+	"phasetune/internal/osched"
 	"phasetune/internal/sim"
 	"phasetune/internal/workload"
 )
@@ -86,6 +87,17 @@ type Stats struct {
 	// OvercommitSlices counts dispatch slices the proportional-share
 	// dispatcher shortened.
 	OvercommitSlices uint64
+	// HasLedger reports whether the run carried a cycle ledger, making the
+	// sojourn decomposition below meaningful (all three are zero without
+	// one).
+	HasLedger bool
+	// QueueingSec, ServiceSec, and SlicingSec decompose where admitted
+	// jobs' time went, summed across tasks in simulated seconds: waiting in
+	// run queues, occupying a core (useful work plus asymmetry/spill loss
+	// plus monitoring/migration/switch overheads), and paying the
+	// overcommit dispatcher's slicing tax. A queueing-dominated run is one
+	// the machine lost to convoys, not to slow execution.
+	QueueingSec, ServiceSec, SlicingSec float64
 }
 
 // Empty reports whether the summary has no completed jobs, i.e. every
@@ -119,6 +131,18 @@ func Summarize(res *sim.Result) Stats {
 			}
 		}
 		st.MaxSojournSec = max
+	}
+	if res.Ledger != nil {
+		st.HasLedger = true
+		var queuePs, busyPs, slicePs int64
+		for _, t := range res.Ledger.PerTask {
+			queuePs += t.QueuePs
+			busyPs += t.BusyPs()
+			slicePs += t.SlicingPs
+		}
+		st.QueueingSec = osched.PsToSec(queuePs)
+		st.ServiceSec = osched.PsToSec(busyPs - slicePs)
+		st.SlicingSec = osched.PsToSec(slicePs)
 	}
 	return st
 }

@@ -15,6 +15,7 @@ import (
 
 	"phasetune/internal/amp"
 	"phasetune/internal/exec"
+	"phasetune/internal/ledger"
 	"phasetune/internal/metrics"
 	"phasetune/internal/online"
 	"phasetune/internal/osched"
@@ -126,6 +127,13 @@ type RunConfig struct {
 	// wire format; one tracer should observe one run at a time (concurrent
 	// sweep runs sharing a tracer interleave nondeterministically).
 	Trace *trace.Tracer
+	// Ledger enables conserved cycle accounting: the run's Result carries a
+	// Ledger decomposing every simulated core-picosecond into exhaustive
+	// categories (Σ categories == cores × horizon, exact). Like tracing it
+	// never perturbs the simulation: a ledgered run's Result is
+	// bit-identical to a ledger-off run once the Ledger field is stripped.
+	// The flag (not a pointer) crosses the dist wire in the EnvSpec.
+	Ledger bool
 }
 
 // Events holds optional per-run observation hooks. Hooks are invoked
@@ -167,6 +175,11 @@ type Result struct {
 	// dispatcher shortened (zero unless Sched.Overcommit is enabled and
 	// demand exceeded capacity).
 	OvercommitSlices uint64
+	// Ledger is the run's conserved cycle accounting (nil unless
+	// RunConfig.Ledger was set). The omitempty tag keeps a ledger-off
+	// Result's canonical encoding — the bytes the dist fabric commits —
+	// byte-identical to pre-ledger builds.
+	Ledger *ledger.Ledger `json:"ledger,omitempty"`
 }
 
 // ImageStats summarizes one prepared image.
@@ -303,6 +316,19 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		return nil, err
 	}
 	kernel.Trace = cfg.Trace
+	var col *ledger.Collector
+	if cfg.Ledger {
+		// Useful work is priced at the machine's fastest clock (smallest
+		// per-cycle cost): the counterfactual of perfect placement.
+		fastPs := kernel.Params()[0].PsPerCycle
+		for _, p := range kernel.Params() {
+			if p.PsPerCycle < fastPs {
+				fastPs = p.PsPerCycle
+			}
+		}
+		col = ledger.NewCollector(len(machine.Cores), fastPs)
+		kernel.Ledger = col
+	}
 	var monitor *online.Manager
 	var hybrid *online.Hybrid
 	switch cfg.Mode {
@@ -477,6 +503,9 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	if hybrid != nil {
 		stats := hybrid.Stats()
 		res.Online = &stats
+	}
+	if col != nil {
+		res.Ledger = col.Finalize(kernel.NowPs())
 	}
 	return res, nil
 }

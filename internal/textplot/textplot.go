@@ -290,5 +290,122 @@ func Heatmap(corner string, rowLabels, colLabels []string, vals [][]float64, tol
 	return b.String()
 }
 
+// Waterfall renders signed per-category deltas as bars around a shared
+// zero axis — the where-did-the-difference-go view of a run diff. Negative
+// deltas extend left with '<', positive right with '>', all on one scale
+// (the largest magnitude fills half the width).
+//
+//	useful     <<<<<<<|        -123.4 ms
+//	asymmetry         |>>>      +56.7 ms
+func Waterfall(labels []string, deltas []float64, unit string, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	half := width / 2
+	if half < 1 {
+		half = 1
+	}
+	maxAbs := 0.0
+	for _, d := range deltas {
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		line := make([]byte, 2*half+1)
+		for j := range line {
+			line[j] = ' '
+		}
+		line[half] = '|'
+		n := int(math.Round(float64(half) * math.Abs(deltas[i]) / maxAbs))
+		switch {
+		case deltas[i] < 0:
+			for j := half - n; j < half; j++ {
+				line[j] = '<'
+			}
+		case deltas[i] > 0:
+			for j := half + 1; j <= half+n; j++ {
+				line[j] = '>'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s  %+.4g %s\n", labelW, l, string(line), deltas[i], unit)
+	}
+	return b.String()
+}
+
+// stackGlyphs is the segment palette shared by every stacked bar: segment
+// k renders glyph k (wrapping past the palette end).
+const stackGlyphs = "#=+o*:~@."
+
+// StackedBars renders one composition bar per row: each row's segment
+// values (all non-negative) tile a bar in segment order, every bar on a
+// shared scale (the largest row total fills the width). A trailing legend
+// maps glyphs to segment names. vals must be rectangular:
+// len(vals) == len(rows), len(vals[r]) == len(segments).
+//
+//	static  ####===+oo  12.3
+//	hybrid  #####==+o   11.8
+//	legend: '#' useful  '=' asymmetry  ...
+func StackedBars(rows, segments []string, vals [][]float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	maxTotal := 0.0
+	for _, row := range vals {
+		total := 0.0
+		for _, v := range row {
+			if v > 0 {
+				total += v
+			}
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	rowW := 0
+	for _, r := range rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	var b strings.Builder
+	for r, name := range rows {
+		total := 0.0
+		var bar []byte
+		// Tile by cumulative position so rounding never over- or
+		// under-fills: segment k ends at round(width x cum_k / maxTotal).
+		for s, v := range vals[r] {
+			if v <= 0 {
+				continue
+			}
+			total += v
+			end := int(math.Round(float64(width) * total / maxTotal))
+			for len(bar) < end {
+				bar = append(bar, stackGlyphs[s%len(stackGlyphs)])
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %-*s %.4g\n", rowW, name, width, string(bar), total)
+	}
+	b.WriteString("legend:")
+	for s, seg := range segments {
+		fmt.Fprintf(&b, " '%c' %s", stackGlyphs[s%len(stackGlyphs)], seg)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
 // Pct formats a percentage with sign.
 func Pct(v float64) string { return fmt.Sprintf("%+.2f%%", v) }

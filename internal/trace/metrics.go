@@ -3,20 +3,23 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 )
 
-// Metrics is an ordered counter/gauge registry — the same primitive the
-// tracer's counter tracks are built from, reused by the dist fabric's
-// /metrics endpoint. Names are registered on first touch and snapshots
-// preserve registration order, so exported text is deterministic for a
-// deterministic workload.
+// Metrics is an ordered counter/gauge/histogram registry — the same
+// primitive the tracer's counter tracks are built from, reused by the
+// dist fabric's /metrics endpoint. Names are registered on first touch
+// (histograms on DescribeHistogram) and snapshots preserve registration
+// order, so exported text is deterministic for a deterministic workload.
 type Metrics struct {
-	mu    sync.Mutex
-	order []string
-	vals  map[string]int64
-	help  map[string]string
+	mu        sync.Mutex
+	order     []string
+	vals      map[string]int64
+	help      map[string]string
+	histOrder []string
+	hists     map[string]*histogram
 }
 
 // MetricValue is one named value in a snapshot.
@@ -26,9 +29,36 @@ type MetricValue struct {
 	Help  string
 }
 
+// histogram is one fixed-bound distribution. counts has one slot per
+// bound plus a final overflow slot (+Inf); sum and count accumulate the
+// raw observations.
+type histogram struct {
+	help   string
+	bounds []int64
+	counts []int64
+	sum    int64
+	count  int64
+}
+
+// HistogramValue is one histogram in a snapshot. Counts are per-bucket
+// (not cumulative) and parallel to Bounds, with one extra overflow slot
+// at the end for observations above every bound.
+type HistogramValue struct {
+	Name   string
+	Help   string
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}
+
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{vals: make(map[string]int64), help: make(map[string]string)}
+	return &Metrics{
+		vals:  make(map[string]int64),
+		help:  make(map[string]string),
+		hists: make(map[string]*histogram),
+	}
 }
 
 // Describe attaches help text to a metric (registering it at zero if
@@ -84,6 +114,45 @@ func (m *Metrics) Get(name string) int64 {
 	return m.vals[name]
 }
 
+// DescribeHistogram registers a histogram with fixed bucket bounds
+// (upper-inclusive, ascending; an implicit +Inf bucket is appended).
+// Bounds are fixed at registration so two runs of the same workload
+// export byte-identical bucket lines. First call per name wins; the
+// bounds slice is copied and sorted defensively.
+func (m *Metrics) DescribeHistogram(name, help string, bounds []int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.hists[name]; ok {
+		return
+	}
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	m.hists[name] = &histogram{help: help, bounds: bs, counts: make([]int64, len(bs)+1)}
+	m.histOrder = append(m.histOrder, name)
+}
+
+// Observe records one value into the named histogram. Unlike counters,
+// histograms need bounds, so observing a name never registered by
+// DescribeHistogram is a no-op.
+func (m *Metrics) Observe(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
 // Snapshot returns every value in registration order.
 func (m *Metrics) Snapshot() []MetricValue {
 	if m == nil {
@@ -98,8 +167,33 @@ func (m *Metrics) Snapshot() []MetricValue {
 	return out
 }
 
+// SnapshotHistograms returns every histogram in registration order.
+func (m *Metrics) SnapshotHistograms() []HistogramValue {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HistogramValue, 0, len(m.histOrder))
+	for _, name := range m.histOrder {
+		h := m.hists[name]
+		out = append(out, HistogramValue{
+			Name:   name,
+			Help:   h.help,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
+		})
+	}
+	return out
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
-// format (untyped metrics with optional HELP lines).
+// format: counters and gauges first (untyped, with optional HELP lines),
+// then histograms as cumulative _bucket/_sum/_count series. Output order
+// is registration order, so a deterministic workload exports
+// byte-identical text.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	for _, mv := range m.Snapshot() {
 		name := sanitizeMetricName(mv.Name)
@@ -109,6 +203,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", name, mv.Value); err != nil {
+			return err
+		}
+	}
+	for _, hv := range m.SnapshotHistograms() {
+		name := sanitizeMetricName(hv.Name)
+		if hv.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, hv.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range hv.Bounds {
+			cum += hv.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, hv.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, hv.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, hv.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketing pins the bucket math: upper-inclusive bounds,
+// overflow slot, and exact sum/count accumulation.
+func TestHistogramBucketing(t *testing.T) {
+	m := NewMetrics()
+	m.DescribeHistogram("lat_us", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000, 7000} {
+		m.Observe("lat_us", v)
+	}
+	hs := m.SnapshotHistograms()
+	if len(hs) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	// Buckets: le=10 gets {1,10}; le=100 gets {11,100}; le=1000 empty;
+	// overflow gets {5000,7000}.
+	want := []int64{2, 2, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Count != 6 || h.Sum != 1+10+11+100+5000+7000 {
+		t.Errorf("count/sum = %d/%d", h.Count, h.Sum)
+	}
+}
+
+// TestHistogramDeterministicRegistration pins first-call-wins bounds,
+// defensive sorting, and the no-op on unregistered names.
+func TestHistogramDeterministicRegistration(t *testing.T) {
+	m := NewMetrics()
+	m.DescribeHistogram("h", "first", []int64{300, 100, 200}) // unsorted on purpose
+	m.DescribeHistogram("h", "second", []int64{1})            // ignored: first call wins
+	m.Observe("never_described", 42)                          // no-op, not a panic
+	m.Observe("h", 150)
+	h := m.SnapshotHistograms()[0]
+	if h.Help != "first" || len(h.Bounds) != 3 || h.Bounds[0] != 100 {
+		t.Errorf("registration not first-wins/sorted: %+v", h)
+	}
+	if h.Counts[1] != 1 {
+		t.Errorf("150 not in (100,200] bucket: %v", h.Counts)
+	}
+	var nilM *Metrics
+	nilM.DescribeHistogram("x", "", nil) // nil registry is inert
+	nilM.Observe("x", 1)
+	if nilM.SnapshotHistograms() != nil {
+		t.Error("nil registry returned histograms")
+	}
+}
+
+// TestHistogramPrometheusExport pins the text exposition: cumulative
+// _bucket lines, the +Inf bucket, _sum and _count, after the counters.
+func TestHistogramPrometheusExport(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("events_total", 3)
+	m.DescribeHistogram("rt_us", "round trip", []int64{10, 100})
+	m.Observe("rt_us", 5)
+	m.Observe("rt_us", 50)
+	m.Observe("rt_us", 500)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantOrder := []string{
+		"events_total 3",
+		"# HELP rt_us round trip",
+		"# TYPE rt_us histogram",
+		`rt_us_bucket{le="10"} 1`,
+		`rt_us_bucket{le="100"} 2`,
+		`rt_us_bucket{le="+Inf"} 3`,
+		"rt_us_sum 555",
+		"rt_us_count 3",
+	}
+	at := 0
+	for _, want := range wantOrder {
+		i := strings.Index(out[at:], want)
+		if i < 0 {
+			t.Fatalf("export missing (or out of order) %q:\n%s", want, out)
+		}
+		at += i + len(want)
+	}
+	// Determinism: a second export is byte-identical.
+	var sb2 strings.Builder
+	if err := m.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("repeated export not byte-identical")
+	}
+}

@@ -172,11 +172,15 @@ func (tu *Tuner) SetEngine(e *place.Engine) { tu.engine = e }
 func (tu *Tuner) spilling() bool { return tu.engine != nil && tu.cfg.Spill }
 
 // maskFor resolves a decided phase type's affinity mask: the engine's
-// arbitrated mask under spill, the fixed pin otherwise.
-func (tu *Tuner) maskFor(tbl *typeTable) uint64 {
+// arbitrated mask under spill, the fixed pin otherwise. The ledger learns
+// whether arbitration parked the process off its chosen type, so asymmetry
+// loss under a knowing spill is charged to the spill category.
+func (tu *Tuner) maskFor(p *exec.Process, tbl *typeTable) uint64 {
 	if tu.spilling() && tbl.dec != nil {
 		tu.engine.Enter(tu.pid, *tbl.dec)
-		return tu.engine.MaskFor(tu.pid)
+		mask := tu.engine.MaskFor(tu.pid)
+		p.SetSpilled(mask != tu.machine.TypeMask(tbl.dec.Choice))
+		return mask
 	}
 	return tbl.mask
 }
@@ -220,7 +224,7 @@ func (tu *Tuner) OnMark(p *exec.Process, markID int, coreID int) exec.MarkAction
 
 	if tbl.decided {
 		tu.SwitchRequests++
-		return exec.MarkAction{Mask: tu.maskFor(tbl)}
+		return exec.MarkAction{Mask: tu.maskFor(p, tbl)}
 	}
 
 	// Still sampling: steer this representative section to the core type
@@ -231,6 +235,7 @@ func (tu *Tuner) OnMark(p *exec.Process, markID int, coreID int) exec.MarkAction
 	// arbitration until the decision lands.
 	if tu.spilling() {
 		tu.engine.Leave(p.PID)
+		p.SetSpilled(false)
 	}
 	ct := tu.nextProbe(tbl, p.PID)
 	mask := tu.machine.TypeMask(ct)
@@ -349,7 +354,7 @@ func (tu *Tuner) OnQuantum(p *exec.Process, coreID int) exec.MarkAction {
 	tbl := tu.table(pt)
 	if tbl.decided {
 		tu.SwitchRequests++
-		return exec.MarkAction{Mask: tu.maskFor(tbl)}
+		return exec.MarkAction{Mask: tu.maskFor(p, tbl)}
 	}
 	ct := tu.nextProbe(tbl, p.PID)
 	if tu.hw.TryAcquire() {

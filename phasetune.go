@@ -62,6 +62,7 @@ import (
 	"phasetune/internal/exec"
 	"phasetune/internal/experiments"
 	"phasetune/internal/instrument"
+	"phasetune/internal/ledger"
 	"phasetune/internal/metrics"
 	"phasetune/internal/online"
 	"phasetune/internal/osched"
@@ -301,6 +302,22 @@ type (
 
 // NewTracer returns an enabled run tracer (see WithTrace).
 func NewTracer() *Tracer { return trace.New() }
+
+// Cycle accounting.
+type (
+	// Ledger is a run's conserved cycle accounting (RunResult.Ledger,
+	// enabled with WithLedger): the machine's total core time decomposed
+	// into exhaustive categories with per-core, per-task, and per-phase
+	// rollups, summing exactly to cores × horizon (Ledger.Verify).
+	Ledger = ledger.Ledger
+	// LedgerBreakdown is one accounting scope's category decomposition in
+	// simulated picoseconds.
+	LedgerBreakdown = ledger.Breakdown
+)
+
+// LedgerCategories lists the accounting category names in display order,
+// matching LedgerBreakdown.Values.
+func LedgerCategories() []string { return ledger.Categories() }
 
 // Arrival process kinds (ArrivalSpec.Kind).
 const (

@@ -113,6 +113,7 @@ type Session struct {
 	workers   int
 	events    Events
 	tracer    *Tracer
+	ledger    bool
 
 	// suiteOnce lazily generates the benchmark suite for (cost, machine),
 	// shared by every run whose spec describes its workload as Queues.
@@ -195,6 +196,15 @@ func WithEvents(e Events) SessionOption { return func(s *Session) { s.events = e
 // sharing a tracer interleave their events nondeterministically, so
 // attach a tracer to sessions used for single Run calls.
 func WithTrace(tr *Tracer) SessionOption { return func(s *Session) { s.tracer = tr } }
+
+// WithLedger enables conserved cycle accounting on the session's runs: each
+// RunResult carries a Ledger decomposing every simulated core-picosecond
+// into useful work, asymmetry and spill loss, instrumentation taxes, and
+// idle time, with per-core/per-task/per-phase rollups that sum exactly to
+// cores × horizon (Ledger.Verify). Like tracing, accounting never perturbs
+// a run — an accounted run's Result is bit-identical to an unaccounted one
+// once the Ledger field is stripped.
+func WithLedger() SessionOption { return func(s *Session) { s.ledger = true } }
 
 // NewSession builds a session from functional options:
 //
@@ -370,6 +380,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 		Cache:       s.cache,
 		Events:      s.events,
 		Trace:       s.tracer,
+		Ledger:      s.ledger,
 	}, nil
 }
 
