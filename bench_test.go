@@ -336,6 +336,7 @@ func BenchmarkInterpreterSteps(b *testing.B) {
 	pars := exec.ParamsFor(cost, machine)
 	r := rng.New(1)
 	p := exec.NewProcess(1, img, &cost, r.Uint64(), nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if p.Exited() {
@@ -352,6 +353,7 @@ func BenchmarkWorkloadSecond(b *testing.B) {
 		b.Fatal(err)
 	}
 	w := workload.BuildWorkload(suite, 8, 64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.RunConfig{Workload: w, DurationSec: 1, Seed: 1}); err != nil {

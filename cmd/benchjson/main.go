@@ -45,7 +45,12 @@
 //     simulator hot path).
 //
 // Each benchmark runs -reps times and reports the minimum (the standard
-// noise-rejection choice for wall-clock microbenchmarks).
+// noise-rejection choice for wall-clock microbenchmarks). Every timing
+// benchmark additionally records its heap allocation count for the fastest
+// rep (metric allocs_per_op, the `-benchmem` analogue), and grid_sweep
+// records the session's segment-memo counters (memo_hits plus the derived
+// memo_hit_rate): with -reps >= 2 the later reps replay memoized segment
+// outcomes, so a zero warm hit rate is a memo regression.
 //
 // The output file is a history (schema phasetune-bench-history/v1): each
 // invocation appends one timestamped entry. A pre-history file holding a
@@ -58,6 +63,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -251,6 +257,42 @@ func runHistory(path string, regressionPct float64) error {
 	}
 	fmt.Println()
 	fmt.Print(t.String())
+
+	// Derived metrics and allocation counts of the newest entry: speedups,
+	// the segment-memo hit rate, and allocs/op per benchmark.
+	if len(last.Derived) > 0 {
+		keys := make([]string, 0, len(last.Derived))
+		for k := range last.Derived {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("\nlatest derived metrics:")
+		for _, k := range keys {
+			fmt.Printf("  %s = %.3f\n", k, last.Derived[k])
+		}
+	}
+	var seqNs, shdNs int64
+	for _, b := range last.Benchmarks {
+		switch b.Name {
+		case "grid_sequential":
+			seqNs = b.NsPerOp
+		case "grid_sweep_sharded":
+			shdNs = b.NsPerOp
+		}
+		if a, ok := b.Metrics["allocs_per_op"]; ok {
+			fmt.Printf("  %s allocs/op = %.0f\n", b.Name, a)
+		}
+	}
+	// Flag the sharded-vs-sequential inversion explicitly: at this grid
+	// size the fabric's per-rep worker lifecycle, cold per-worker caches,
+	// and JSON transport outweigh the parallelism, and that is a finding,
+	// not a charting artifact (EXPERIMENTS.md, "Why the sharded grid is
+	// slower than the sequential loop").
+	if shdNs > 0 && seqNs > 0 && shdNs > seqNs {
+		fmt.Printf("\nnote: grid_sweep_sharded (%.1f ms) is SLOWER than grid_sequential (%.1f ms): the distributed fabric's per-rep overhead dominates cells this small — see EXPERIMENTS.md\n",
+			float64(shdNs)/1e6, float64(seqNs)/1e6)
+	}
+
 	if len(regressed) > 0 {
 		return fmt.Errorf("regression over %.0f%% vs previous entry: %s",
 			regressionPct, strings.Join(regressed, ", "))
@@ -259,19 +301,27 @@ func runHistory(path string, regressionPct float64) error {
 	return nil
 }
 
-// timeMin runs f reps times and returns the minimum wall-clock duration.
-func timeMin(reps int, f func() error) (time.Duration, error) {
-	best := time.Duration(0)
+// timeMin runs f reps times and returns the minimum wall-clock duration
+// plus the heap allocation count of that fastest rep (the `-benchmem`
+// analogue for this wall-clock harness).
+func timeMin(reps int, f func() error) (time.Duration, uint64, error) {
+	var best time.Duration
+	var bestAllocs uint64
 	for i := 0; i < reps; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		if err := f(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		if d := time.Since(start); i == 0 || d < best {
+		d := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if i == 0 || d < best {
 			best = d
+			bestAllocs = after.Mallocs - before.Mallocs
 		}
 	}
-	return best, nil
+	return best, bestAllocs, nil
 }
 
 // gridSpecs mirrors the root sweep benchmark: 3 technique variants x 2
@@ -310,7 +360,7 @@ func run(out string, reps, shards int) error {
 		Derived:   map[string]float64{},
 	}
 
-	seq, err := timeMin(reps, func() error {
+	seq, seqAllocs, err := timeMin(reps, func() error {
 		for _, spec := range specs {
 			w := phasetune.NewWorkload(suite, spec.Queues.Slots, spec.Queues.QueueLen, spec.Queues.Seed)
 			if _, err := phasetune.Run(phasetune.RunConfig{
@@ -329,10 +379,11 @@ func run(out string, reps, shards int) error {
 	}
 	entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 		Name: "grid_sequential", NsPerOp: seq.Nanoseconds(), Reps: reps,
+		Metrics: map[string]float64{"allocs_per_op": float64(seqAllocs)},
 	})
 
 	sess := phasetune.NewSession()
-	swp, err := timeMin(reps, func() error {
+	swp, swpAllocs, err := timeMin(reps, func() error {
 		_, err := sess.Sweep(context.Background(), specs)
 		return err
 	})
@@ -340,20 +391,24 @@ func run(out string, reps, shards int) error {
 		return err
 	}
 	stats := sess.CacheStats()
+	memo := sess.MemoStats()
 	entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 		Name: "grid_sweep", NsPerOp: swp.Nanoseconds(), Reps: reps,
 		Metrics: map[string]float64{
 			"pipeline_runs": float64(stats.Misses),
 			"cache_hits":    float64(stats.Hits),
+			"allocs_per_op": float64(swpAllocs),
+			"memo_hits":     float64(memo.Hits),
 		},
 	})
 	if swp > 0 {
 		entry.Derived["sweep_speedup"] = float64(seq) / float64(swp)
 	}
+	entry.Derived["memo_hit_rate"] = memo.HitRate()
 
 	if shards > 1 {
 		shardSess := phasetune.NewSession()
-		shd, err := timeMin(reps, func() error {
+		shd, shdAllocs, err := timeMin(reps, func() error {
 			_, err := shardSess.SweepSharded(context.Background(), specs, shards)
 			return err
 		})
@@ -362,7 +417,10 @@ func run(out string, reps, shards int) error {
 		}
 		entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 			Name: "grid_sweep_sharded", NsPerOp: shd.Nanoseconds(), Reps: reps,
-			Metrics: map[string]float64{"shards": float64(shards)},
+			Metrics: map[string]float64{
+				"shards":        float64(shards),
+				"allocs_per_op": float64(shdAllocs),
+			},
 		})
 		if shd > 0 {
 			entry.Derived["sharded_speedup"] = float64(seq) / float64(shd)
@@ -378,7 +436,7 @@ func run(out string, reps, shards int) error {
 		{"workload_second_dynamic", phasetune.PolicyDynamic},
 	} {
 		sess := phasetune.NewSession()
-		d, err := timeMin(reps, func() error {
+		d, dAllocs, err := timeMin(reps, func() error {
 			_, err := sess.Run(phasetune.RunSpec{
 				Workload: w, DurationSec: 1, Seed: 1, Policy: bench.policy,
 			})
@@ -389,6 +447,7 @@ func run(out string, reps, shards int) error {
 		}
 		entry.Benchmarks = append(entry.Benchmarks, benchhist.Benchmark{
 			Name: bench.name, NsPerOp: d.Nanoseconds(), Reps: reps,
+			Metrics: map[string]float64{"allocs_per_op": float64(dAllocs)},
 		})
 	}
 

@@ -1,0 +1,515 @@
+// Segment-outcome memoization. Campaign grids re-simulate the same code
+// over and over: across a policy column most of a task's phase segments
+// execute identically under different placements, so stepping them
+// block-by-block every time is pure waste (ROADMAP item 4, paper §V's
+// dependence on cheap large-grid ablations).
+//
+// A run of steps is a pure function of the interpreter state it starts
+// from — (image, program counter, call stack, loop counters, rng stream
+// position) — and of the pricing environment it runs under — (core-type
+// parameters, effective cache share, syscall cost, fastest clock). The
+// memo exploits exactly that: a *chunk* records the observable deltas of
+// up to maxChunkSteps consecutive steps (cycles, instructions, memory
+// references, integer ledger picoseconds) together with the end state, and
+// replaying it is O(1) in the number of steps.
+//
+// The identity contract. Memoization must be invisible to every observer:
+// marks, monitor windows, ledger charges, traces, and the scheduler's
+// slice accounting. Chunks therefore split at every observer-visible
+// boundary:
+//
+//   - phase marks never record (the tuning hook runs between two steps the
+//     observer can distinguish), so a chunk never spans a mark;
+//   - the exit step never records (OnExit is a hook);
+//   - a slice boundary closes the open recording (the scheduler regains
+//     control there);
+//   - replay is refused unless the whole chunk fits the remaining slice
+//     budget exactly as the unmemoized loop would have stepped it
+//     (cyclesButLast < remaining ⇔ every step would have started).
+//
+// Within a chunk nothing is observable: counters and the ledger are plain
+// integer sums, so one batched add equals the per-step adds it replaces,
+// and the per-lane cost tables are built from the same bodyCycles /
+// bodyIdealPs helpers the plain interpreter uses — memoized and
+// unmemoized runs price every block identically by construction.
+//
+// Concurrency follows the ImageCache singleflight idiom: lanes and chunks
+// are immutable once published, lookups take a read lock, and the first
+// recorder to finish a chunk wins (a losing duplicate is discarded — both
+// are correct by construction, so results never depend on the race).
+package exec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunkSteps bounds one chunk. Longer chunks amortize the lookup better
+// but are refused more often near slice boundaries; 256 steps is far past
+// the point where the per-chunk overhead stops mattering.
+const maxChunkSteps = 256
+
+// DefaultMemoChunks is the default bound on cached chunks across all
+// lanes (~tens of MB at typical chunk sizes). When full, the memo stops
+// recording new chunks but keeps serving hits.
+const DefaultMemoChunks = 1 << 18
+
+// laneKey identifies a pricing environment: runs that agree on every field
+// price every block identically and may share cached chunks. Images are
+// compared by identity — the ImageCache already dedupes them by content,
+// so identity equality is content equality within a process. The flip side:
+// cross-run memo reuse requires the runs to draw images from one shared
+// cache; runs that re-prepare their own images land in fresh lanes and
+// record from scratch. Sessions, sweeps, and dist workers all pair the
+// memo with a shared cache.
+type laneKey struct {
+	img         *Image
+	par         CoreParams
+	shareBits   uint64 // math.Float64bits of the effective cache share
+	syscallBits uint64 // math.Float64bits of the cost model's syscall cost
+	fastPs      int64  // fastest clock, prices the ledger counterfactual
+}
+
+// chunkKey identifies an interpreter state within a lane: the exact rng
+// stream position (splitmix64 state is one word, so this dimension is
+// collision-free) plus a hash of (program counter, call stack, loop
+// counters). Replay additionally verifies the start position and stack
+// depth stored in the chunk.
+type chunkKey struct {
+	pos uint64
+	rng uint64
+}
+
+// loopWrite is one loop-counter cell's final value within a chunk.
+type loopWrite struct {
+	proc, block int32
+	val         int32
+}
+
+// chunk is the recorded outcome of a run of steps: the observable deltas
+// plus the end state to restore. Immutable once published.
+type chunk struct {
+	startProc, startBlock int32
+	startStackLen         int32
+	steps                 int32
+
+	cycles        int64 // total body cycles of all steps
+	cyclesButLast int64 // total excluding the final step (budget check)
+	instrs        uint64
+	memRefs       uint64
+	idealPs       int64 // ledger fastest-clock counterfactual, integer sum
+
+	endProc, endBlock int32
+	endStack          []frame
+	endStackHash      uint64
+	endLoopHash       uint64
+	endRng            uint64
+	loopWrites        []loopWrite
+}
+
+// blockCost is one block's precomputed pricing under a lane. Building it
+// once per lane also removes the per-step math.Exp from the native path.
+type blockCost struct {
+	ic       int64 // body cycles (identical to Step's truncation)
+	actualPs int64 // ic × PsPerCycle
+	idealPs  int64 // fastest-clock counterfactual picoseconds
+}
+
+// Lane is the per-pricing-environment view of the memo: the block cost
+// tables plus the chunk store.
+type Lane struct {
+	memo    *SegmentMemo
+	par     CoreParams
+	shareKB float64
+	cost    [][]blockCost
+
+	mu     sync.RWMutex
+	chunks map[chunkKey]*chunk
+}
+
+// lookup returns the cached chunk for a state key, or nil.
+func (l *Lane) lookup(key chunkKey) *chunk {
+	l.mu.RLock()
+	c := l.chunks[key]
+	l.mu.RUnlock()
+	return c
+}
+
+// insert publishes a recorded chunk. First writer wins: concurrent
+// recorders starting from the same state record byte-equivalent prefixes,
+// so replay correctness never depends on which one lands.
+func (l *Lane) insert(key chunkKey, c *chunk) {
+	m := l.memo
+	if m.entries.Load() >= m.limit {
+		return
+	}
+	l.mu.Lock()
+	if _, ok := l.chunks[key]; !ok {
+		l.chunks[key] = c
+		m.entries.Add(1)
+		m.recordedSteps.Add(uint64(c.steps))
+	}
+	l.mu.Unlock()
+}
+
+// SegmentMemo is a shared store of memoized segment outcomes. Safe for
+// concurrent use by every run of a sweep; a nil *SegmentMemo disables
+// memoization entirely.
+type SegmentMemo struct {
+	limit   int64
+	entries atomic.Int64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	replayedSteps atomic.Uint64
+	recordedSteps atomic.Uint64
+
+	mu    sync.RWMutex
+	lanes map[laneKey]*Lane
+}
+
+// NewSegmentMemo creates a memo bounded to maxChunks cached chunks
+// (DefaultMemoChunks when maxChunks <= 0).
+func NewSegmentMemo(maxChunks int) *SegmentMemo {
+	if maxChunks <= 0 {
+		maxChunks = DefaultMemoChunks
+	}
+	return &SegmentMemo{limit: int64(maxChunks), lanes: map[laneKey]*Lane{}}
+}
+
+// MemoStats is a point-in-time snapshot of memo effectiveness.
+type MemoStats struct {
+	// Lanes and Chunks size the store.
+	Lanes, Chunks int
+	// Hits and Misses count chunk lookups during dispatch.
+	Hits, Misses uint64
+	// ReplayedSteps and RecordedSteps count interpreter steps served from
+	// cache versus stepped while recording.
+	ReplayedSteps, RecordedSteps uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the memo's counters.
+func (m *SegmentMemo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.RLock()
+	lanes := len(m.lanes)
+	m.mu.RUnlock()
+	return MemoStats{
+		Lanes:         lanes,
+		Chunks:        int(m.entries.Load()),
+		Hits:          m.hits.Load(),
+		Misses:        m.misses.Load(),
+		ReplayedSteps: m.replayedSteps.Load(),
+		RecordedSteps: m.recordedSteps.Load(),
+	}
+}
+
+// LaneFor resolves (building on first use) the lane for a process's image
+// under the given pricing environment. Called once per dispatch burst.
+func (m *SegmentMemo) LaneFor(p *Process, par *CoreParams, shareKB float64, fastPs int64) *Lane {
+	key := laneKey{
+		img:         p.Img,
+		par:         *par,
+		shareBits:   math.Float64bits(shareKB),
+		syscallBits: math.Float64bits(p.cm.SyscallCycles),
+		fastPs:      fastPs,
+	}
+	m.mu.RLock()
+	l := m.lanes[key]
+	m.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l = m.lanes[key]; l != nil {
+		return l
+	}
+	l = &Lane{
+		memo:    m,
+		par:     *par,
+		shareKB: shareKB,
+		chunks:  map[chunkKey]*chunk{},
+		cost:    make([][]blockCost, len(p.Img.blocks)),
+	}
+	for proc := range p.Img.blocks {
+		row := make([]blockCost, len(p.Img.blocks[proc]))
+		for b := range row {
+			info := &p.Img.blocks[proc][b]
+			ic := bodyCycles(info, par, p.cm.SyscallCycles, shareKB)
+			row[b] = blockCost{
+				ic:       ic,
+				actualPs: ic * par.PsPerCycle,
+				idealPs:  bodyIdealPs(info, par, ic, shareKB, fastPs),
+			}
+		}
+		l.cost[proc] = row
+	}
+	m.lanes[key] = l
+	return l
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const (
+	hashGamma = 0x9e3779b97f4a7c15
+	frameSeed = 0x8f51a2c4b3e6d970
+	loopSeed  = 0x1d8e4f2a9c6b5e37
+)
+
+// frameHash hashes one call-stack frame at a given depth. Frames combine
+// by XOR, so pushing and popping the same frame cancels exactly — the
+// incremental stack hash.
+func frameHash(depth int, proc, block int32) uint64 {
+	k := uint64(uint32(proc))<<32 | uint64(uint32(block))
+	return mix64(k + uint64(depth)*hashGamma + frameSeed)
+}
+
+// loopCellHash hashes one loop-counter cell holding a non-zero value.
+// Zero-valued cells contribute nothing, so a lazily unallocated counter
+// and an explicit zero hash identically.
+func loopCellHash(proc, block, val int32) uint64 {
+	k := uint64(uint32(proc))<<32 | uint64(uint32(block))
+	return mix64(mix64(k+loopSeed) + uint64(uint32(val))*hashGamma)
+}
+
+// posHash folds the program counter and the state hashes into the chunk
+// key's position word.
+func posHash(proc, block int32, stackHash, loopHash uint64) uint64 {
+	k := uint64(uint32(proc))<<32 | uint64(uint32(block))
+	return mix64(k+hashGamma) ^ stackHash ^ loopHash
+}
+
+// memoState is a process's memoization side-state: incremental hashes
+// summarizing the parts of the interpreter state the program counter does
+// not (call stack, loop counters), plus the active chunk recorder.
+type memoState struct {
+	stackHash uint64
+	loopHash  uint64
+	rec       recorder
+}
+
+// recorder accumulates an in-progress chunk.
+type recorder struct {
+	active                bool
+	lane                  *Lane
+	key                   chunkKey
+	startProc, startBlock int32
+	startStackLen         int32
+	steps                 int32
+	cycles                int64
+	lastCycles            int64
+	idealPs               int64
+	startInstrs           uint64
+	startMemRefs          uint64
+	touched               []loopWrite
+}
+
+// noteLoopWrite maintains the loop-counter hash across one cell update and
+// feeds the recorder's touched set.
+func (m *memoState) noteLoopWrite(proc, block, old, val int32) {
+	if old != 0 {
+		m.loopHash ^= loopCellHash(proc, block, old)
+	}
+	if val != 0 {
+		m.loopHash ^= loopCellHash(proc, block, val)
+	}
+	if m.rec.active {
+		m.rec.touched = append(m.rec.touched, loopWrite{proc: proc, block: block})
+	}
+}
+
+// start arms the recorder at the current state (a lookup miss).
+func (r *recorder) start(p *Process, lane *Lane, key chunkKey) {
+	r.active = true
+	r.lane = lane
+	r.key = key
+	r.startProc, r.startBlock = p.curProc, p.curBlock
+	r.startStackLen = int32(len(p.stack))
+	r.steps = 0
+	r.cycles = 0
+	r.lastCycles = 0
+	r.idealPs = 0
+	r.startInstrs = p.Counters.Instructions
+	r.startMemRefs = p.Counters.MemRefs
+	r.touched = r.touched[:0]
+}
+
+// finalize closes the active recording and publishes the chunk.
+func (m *memoState) finalize(p *Process) {
+	r := &m.rec
+	r.active = false
+	if r.steps == 0 {
+		return
+	}
+	c := &chunk{
+		startProc:     r.startProc,
+		startBlock:    r.startBlock,
+		startStackLen: r.startStackLen,
+		steps:         r.steps,
+		cycles:        r.cycles,
+		cyclesButLast: r.cycles - r.lastCycles,
+		instrs:        p.Counters.Instructions - r.startInstrs,
+		memRefs:       p.Counters.MemRefs - r.startMemRefs,
+		idealPs:       r.idealPs,
+		endProc:       p.curProc,
+		endBlock:      p.curBlock,
+		endStack:      append([]frame(nil), p.stack...),
+		endStackHash:  m.stackHash,
+		endLoopHash:   m.loopHash,
+		endRng:        p.rand.State(),
+	}
+	// Dedupe the touched loop cells and capture their final values.
+	if len(r.touched) > 0 {
+		c.loopWrites = make([]loopWrite, 0, len(r.touched))
+	outer:
+		for _, t := range r.touched {
+			for _, w := range c.loopWrites {
+				if w.proc == t.proc && w.block == t.block {
+					continue outer
+				}
+			}
+			c.loopWrites = append(c.loopWrites, loopWrite{
+				proc: t.proc, block: t.block,
+				val: p.loopCounts[t.proc][t.block],
+			})
+		}
+	}
+	r.lane.insert(r.key, c)
+}
+
+// EnableMemo arms segment memoization for this process. Must be called
+// before the first step: the incremental hashes summarize the interpreter
+// state from its initial (empty) configuration.
+func (p *Process) EnableMemo() {
+	if p.memo == nil {
+		p.memo = &memoState{}
+	}
+}
+
+// Advance attempts to replay a cached chunk at the current state under the
+// given lane, returning the cycles consumed (0: no replay — the caller
+// must take a native step). budget is the remaining slice budget; a chunk
+// replays only if the unmemoized loop would have started every one of its
+// steps (strict cyclesButLast < budget, matching `for used < slice`).
+// A lookup miss arms the recorder, so the following native steps build the
+// chunk that will serve this state next time.
+func (p *Process) Advance(lane *Lane, budget int64) int64 {
+	m := p.memo
+	if m == nil || m.rec.active {
+		return 0
+	}
+	info := &p.Img.blocks[p.curProc][p.curBlock]
+	if len(info.markIDs) > 0 || (info.kind == termRet && len(p.stack) == 0) {
+		// Observer boundary (mark hook / exit hook): always native.
+		return 0
+	}
+	key := chunkKey{pos: posHash(p.curProc, p.curBlock, m.stackHash, m.loopHash), rng: p.rand.State()}
+	c := lane.lookup(key)
+	if c == nil {
+		lane.memo.misses.Add(1)
+		m.rec.start(p, lane, key)
+		return 0
+	}
+	if c.startProc != p.curProc || c.startBlock != p.curBlock || int(c.startStackLen) != len(p.stack) {
+		// ~128-bit key collision: vanishingly unlikely, but refuse rather
+		// than corrupt the run.
+		lane.memo.misses.Add(1)
+		return 0
+	}
+	if c.cyclesButLast >= budget {
+		return 0
+	}
+	p.replayChunk(lane, c)
+	return c.cycles
+}
+
+// replayChunk applies a chunk's deltas and restores its end state.
+func (p *Process) replayChunk(lane *Lane, c *chunk) {
+	p.Counters.AddBatch(c.instrs, uint64(c.cycles), c.memRefs)
+	if p.Work != nil {
+		p.Work.Add(c.cycles*lane.par.PsPerCycle, c.idealPs)
+	}
+	for _, w := range c.loopWrites {
+		*p.loopCell(w.proc, w.block) = w.val
+	}
+	p.stack = append(p.stack[:0], c.endStack...)
+	p.curProc, p.curBlock = c.endProc, c.endBlock
+	p.rand.SetState(c.endRng)
+	p.memo.stackHash = c.endStackHash
+	p.memo.loopHash = c.endLoopHash
+	lane.memo.hits.Add(1)
+	lane.memo.replayedSteps.Add(uint64(c.steps))
+}
+
+// StepLane is Step with the block cost read from the lane's precomputed
+// tables (no per-step float math) and the chunk recorder attached. The
+// kernel uses it for every step of a memoized run; results are identical
+// to Step by construction (the tables are built from the same helpers).
+func (p *Process) StepLane(lane *Lane, coreID int) StepResult {
+	m := p.memo
+	if m == nil {
+		return p.Step(&lane.par, coreID, lane.shareKB)
+	}
+	info := &p.Img.blocks[p.curProc][p.curBlock]
+	if m.rec.active && (len(info.markIDs) > 0 || (info.kind == termRet && len(p.stack) == 0)) {
+		// Observer boundary: close the recording before executing it.
+		m.finalize(p)
+	}
+	var res StepResult
+	if len(info.markIDs) > 0 {
+		p.execMarks(info, &lane.par, coreID, &res)
+	}
+	bc := &lane.cost[p.curProc][p.curBlock]
+	if p.Work != nil {
+		p.Work.Add(bc.actualPs, bc.idealPs)
+	}
+	p.Counters.Add(uint64(info.instrs), uint64(bc.ic))
+	if info.memRefs > 0 {
+		p.Counters.AddMem(uint64(info.memRefs))
+	}
+	res.Cycles += bc.ic
+
+	p.advanceControl(info, &res)
+
+	if m.rec.active {
+		// The recording was closed above if this step carried a mark or
+		// exited, so the whole step belongs to the chunk.
+		m.rec.steps++
+		m.rec.cycles += res.Cycles
+		m.rec.lastCycles = res.Cycles
+		m.rec.idealPs += bc.idealPs
+		if m.rec.steps >= maxChunkSteps {
+			m.finalize(p)
+		}
+	}
+	return res
+}
+
+// EndSlice closes any recording in progress: a slice boundary is a point
+// where the scheduler — an observer — regains control. The kernel calls it
+// when a dispatch burst ends.
+func (p *Process) EndSlice() {
+	if p.memo != nil && p.memo.rec.active {
+		p.memo.finalize(p)
+	}
+}

@@ -78,6 +78,10 @@ type Process struct {
 	// loopCounts holds per-block counted-branch progress, allocated lazily
 	// per procedure.
 	loopCounts [][]int32
+	// memo, when non-nil, holds segment-memoization state: incremental
+	// hashes over the interpreter state and the active chunk recorder.
+	// Enabled by the kernel at spawn when a run carries a SegmentMemo.
+	memo *memoState
 
 	// MarksExecuted counts dynamic phase-mark executions (diagnostics and
 	// the time-overhead experiment).
@@ -111,6 +115,70 @@ func (p *Process) SetSpilled(s bool) {
 	}
 }
 
+// bodyCycles prices one execution of a block's body on a core with the
+// given cache share. It is the single source of truth for block cost: the
+// plain interpreter calls it per step and the segment memo's per-lane cost
+// tables are built from it, so memoized and unmemoized runs price every
+// block identically by construction. Products feeding additions are
+// explicitly converted so the compiler cannot contract them into FMAs —
+// the cross-architecture half of the determinism contract (DESIGN.md §13).
+func bodyCycles(info *blockInfo, core *CoreParams, syscallCycles, shareKB float64) int64 {
+	cycles := info.baseCycles
+	if info.l1MissRefs > 0 {
+		miss := info.profile.MissRatio(shareKB)
+		cycles += float64(info.l1MissRefs * (core.L2HitCycles + float64(miss*core.MemCycles)))
+	}
+	if info.syscall {
+		cycles += syscallCycles
+	}
+	ic := int64(cycles)
+	if ic < 1 && info.instrs > 0 {
+		ic = 1
+	}
+	return ic
+}
+
+// bodyIdealPs prices the block's fastest-clock counterfactual for the cycle
+// ledger: the DRAM portion is wall-clock fixed (MemCycles ∝ frequency,
+// PsPerCycle ∝ 1/frequency), so only the compute portion is repriced at the
+// fastest clock. Truncated to integer picoseconds per block so any grouping
+// of steps sums to the same total (the memo's identity contract).
+func bodyIdealPs(info *blockInfo, core *CoreParams, ic int64, shareKB float64, fastPs int64) int64 {
+	var memCycles float64
+	if info.l1MissRefs > 0 {
+		miss := info.profile.MissRatio(shareKB)
+		memCycles = float64(info.l1MissRefs * float64(miss*core.MemCycles))
+	}
+	comp := float64(ic) - memCycles
+	if comp < 0 {
+		comp = 0
+	}
+	return int64(float64(comp*float64(fastPs)) + float64(memCycles*float64(core.PsPerCycle)))
+}
+
+// execMarks runs the phase marks at the top of a block: counter and ledger
+// charges plus the tuning-runtime hook. Marks are observer boundaries — the
+// memo never records across them, so they always execute natively.
+func (p *Process) execMarks(info *blockInfo, core *CoreParams, coreID int, res *StepResult) {
+	for _, mid := range info.markIDs {
+		p.Counters.Add(uint64(p.cm.MarkInstrs), uint64(p.cm.MarkCycles))
+		res.Cycles += p.cm.MarkCycles
+		p.MarksExecuted++
+		if p.Work != nil {
+			// The mark opens a phase: attribute the mark payload and the
+			// block body that follows to the entered phase.
+			p.Work.SetPhase(int(p.Img.MarkType(int(mid))))
+			p.Work.AddMark(p.cm.MarkCycles * core.PsPerCycle)
+		}
+		if p.Hook != nil {
+			act := p.Hook.OnMark(p, int(mid), coreID)
+			if act.Mask != 0 {
+				res.WantMask = act.Mask
+			}
+		}
+	}
+}
+
 // Step executes the current basic block on a core with the given parameters
 // and effective cache share, advances control flow, and returns the cost.
 // Step must not be called after the process has exited.
@@ -120,51 +188,13 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 
 	// Phase marks run first: they sit at the top of the block.
 	if len(info.markIDs) > 0 {
-		for _, mid := range info.markIDs {
-			p.Counters.Add(uint64(p.cm.MarkInstrs), uint64(p.cm.MarkCycles))
-			res.Cycles += p.cm.MarkCycles
-			p.MarksExecuted++
-			if p.Work != nil {
-				// The mark opens a phase: attribute the mark payload and the
-				// block body that follows to the entered phase.
-				p.Work.SetPhase(int(p.Img.MarkType(int(mid))))
-				p.Work.AddMark(p.cm.MarkCycles * core.PsPerCycle)
-			}
-			if p.Hook != nil {
-				act := p.Hook.OnMark(p, int(mid), coreID)
-				if act.Mask != 0 {
-					res.WantMask = act.Mask
-				}
-			}
-		}
+		p.execMarks(info, core, coreID, &res)
 	}
 
 	// Block body cost.
-	cycles := info.baseCycles
-	var memCycles float64
-	if info.l1MissRefs > 0 {
-		miss := info.profile.MissRatio(shareKB)
-		cycles += info.l1MissRefs * (core.L2HitCycles + miss*core.MemCycles)
-		if p.Work != nil {
-			memCycles = info.l1MissRefs * miss * core.MemCycles
-		}
-	}
-	if info.syscall {
-		cycles += p.cm.SyscallCycles
-	}
-	ic := int64(cycles)
-	if ic < 1 && info.instrs > 0 {
-		ic = 1
-	}
+	ic := bodyCycles(info, core, p.cm.SyscallCycles, shareKB)
 	if p.Work != nil {
-		// Ledger attribution: the DRAM portion of the block is wall-clock
-		// fixed (MemCycles ∝ frequency, PsPerCycle ∝ 1/frequency), so the
-		// fastest-clock counterfactual reprices only the compute portion.
-		comp := float64(ic) - memCycles
-		if comp < 0 {
-			comp = 0
-		}
-		p.Work.Add(ic*core.PsPerCycle, comp*float64(p.Work.FastPs())+memCycles*float64(core.PsPerCycle))
+		p.Work.Add(ic*core.PsPerCycle, bodyIdealPs(info, core, ic, shareKB, p.Work.FastPs()))
 	}
 	p.Counters.Add(uint64(info.instrs), uint64(ic))
 	if info.memRefs > 0 {
@@ -172,7 +202,13 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 	}
 	res.Cycles += ic
 
-	// Control flow.
+	p.advanceControl(info, &res)
+	return res
+}
+
+// advanceControl moves the program counter past the current block,
+// maintaining the memo's incremental state hashes when enabled.
+func (p *Process) advanceControl(info *blockInfo, res *StepResult) {
 	switch info.kind {
 	case termFall:
 		p.curBlock = info.fall
@@ -180,7 +216,9 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 		if info.tripCount > 0 {
 			// Counted loop: taken tripCount-1 consecutive times, then fall
 			// through once; the counter then resets for re-entry.
+			proc, blk := p.curProc, p.curBlock
 			c := p.loopCounter()
+			old := *c
 			*c++
 			if *c < info.tripCount {
 				p.curBlock = info.taken
@@ -188,12 +226,18 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 				*c = 0
 				p.curBlock = info.fall
 			}
+			if p.memo != nil {
+				p.memo.noteLoopWrite(proc, blk, old, *c)
+			}
 		} else if p.rand.Float64() < info.takenProb {
 			p.curBlock = info.taken
 		} else {
 			p.curBlock = info.fall
 		}
 	case termCall:
+		if p.memo != nil {
+			p.memo.stackHash ^= frameHash(len(p.stack), p.curProc, info.fall)
+		}
 		p.stack = append(p.stack, frame{proc: p.curProc, block: info.fall})
 		p.curProc = info.callee
 		p.curBlock = 0
@@ -204,25 +248,32 @@ func (p *Process) Step(core *CoreParams, coreID int, shareKB float64) StepResult
 			if p.Hook != nil {
 				p.Hook.OnExit(p)
 			}
-			return res
+			return
 		}
 		top := p.stack[len(p.stack)-1]
 		p.stack = p.stack[:len(p.stack)-1]
+		if p.memo != nil {
+			p.memo.stackHash ^= frameHash(len(p.stack), top.proc, top.block)
+		}
 		p.curProc = top.proc
 		p.curBlock = top.block
 	}
-	return res
 }
 
 // loopCounter returns the counted-branch counter cell for the current block.
 func (p *Process) loopCounter() *int32 {
+	return p.loopCell(p.curProc, p.curBlock)
+}
+
+// loopCell returns (allocating lazily) the loop-counter cell for a block.
+func (p *Process) loopCell(proc, block int32) *int32 {
 	if p.loopCounts == nil {
 		p.loopCounts = make([][]int32, len(p.Img.blocks))
 	}
-	if p.loopCounts[p.curProc] == nil {
-		p.loopCounts[p.curProc] = make([]int32, len(p.Img.blocks[p.curProc]))
+	if p.loopCounts[proc] == nil {
+		p.loopCounts[proc] = make([]int32, len(p.Img.blocks[proc]))
 	}
-	return &p.loopCounts[p.curProc][p.curBlock]
+	return &p.loopCounts[proc][block]
 }
 
 // RunIsolated executes the process to completion on a single core with a

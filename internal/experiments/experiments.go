@@ -63,6 +63,11 @@ type Config struct {
 	// Cache is the shared artifact cache; every driver's image
 	// preparations go through it.
 	Cache *sim.ImageCache
+	// Memo is the shared segment memo: repeated segment executions across
+	// a campaign's policy columns and seeds replay in O(1). Invisible to
+	// results, so memoized campaigns reproduce unmemoized ones byte for
+	// byte. Sharded sweeps ignore it (workers attach their own).
+	Memo *exec.SegmentMemo
 	// Ledger enables conserved cycle accounting on every run of every
 	// driver (sim.RunConfig.Ledger via the environment wire form). The
 	// showdown and serving drivers then fill their attribution columns.
@@ -89,6 +94,7 @@ func Default() (Config, error) {
 		Typing:      phase.Options{K: 2, MinBlockInstrs: 5},
 		Tuning:      tuning.DefaultConfig(),
 		Cache:       sim.NewImageCache(),
+		Memo:        exec.NewSegmentMemo(0),
 	}, nil
 }
 
@@ -99,6 +105,14 @@ func (c *Config) cache() *sim.ImageCache {
 		c.Cache = sim.NewImageCache()
 	}
 	return c.Cache
+}
+
+// memo returns the campaign segment memo, building one on first use.
+func (c *Config) memo() *exec.SegmentMemo {
+	if c.Memo == nil {
+		c.Memo = exec.NewSegmentMemo(0)
+	}
+	return c.Memo
 }
 
 // artifact fetches one benchmark's prepared image through the shared cache.
@@ -148,6 +162,7 @@ func (c *Config) sweep(grid []dist.Spec) ([]*sim.Result, error) {
 	return sim.Sweep(context.Background(), cfgs, sim.SweepOptions{
 		Workers: c.Workers,
 		Cache:   c.cache(),
+		Memo:    c.memo(),
 	})
 }
 

@@ -220,10 +220,13 @@ type Segment struct {
 	// ActualPs is block-body execution time at the current core's clock.
 	ActualPs int64
 	// IdealPs estimates the same work's cost at the fastest clock with
-	// unchanged memory-stall time. Float because the split is an estimate;
-	// it is clamped into [0, ActualPs] at charge time, so conservation
-	// never depends on it.
-	IdealPs float64
+	// unchanged memory-stall time. Integer picoseconds, truncated per block
+	// by the interpreter: per-block truncation makes the accumulated value
+	// independent of how a run of steps is grouped, which the segment memo
+	// depends on (replaying a cached chunk adds one precomputed sum). It is
+	// clamped into [0, ActualPs] at charge time, so conservation never
+	// depends on it.
+	IdealPs int64
 	// MarkPs is phase-mark payload time.
 	MarkPs int64
 }
@@ -263,8 +266,9 @@ func (w *Work) seg() *Segment {
 }
 
 // Add charges one block body: actualPs at the current clock, idealPs the
-// fastest-clock counterfactual.
-func (w *Work) Add(actualPs int64, idealPs float64) {
+// fastest-clock counterfactual (already truncated to integer picoseconds
+// by the caller).
+func (w *Work) Add(actualPs, idealPs int64) {
 	s := w.seg()
 	s.ActualPs += actualPs
 	s.IdealPs += idealPs
@@ -276,11 +280,21 @@ func (w *Work) AddMark(ps int64) {
 }
 
 // Drain returns the accumulated segments and resets the accumulator. The
-// returned slice is owned by the caller.
+// returned slice is owned by the caller; hand it back with Recycle once
+// charged to avoid reallocating every burst.
 func (w *Work) Drain() []Segment {
 	segs := w.segs
 	w.segs = nil
 	return segs
+}
+
+// Recycle returns a drained slice's storage to the accumulator so the next
+// burst appends into it instead of allocating. Only hand back a slice the
+// caller has finished reading.
+func (w *Work) Recycle(segs []Segment) {
+	if w.segs == nil && cap(segs) > 0 {
+		w.segs = segs[:0]
+	}
 }
 
 // Burst is one dispatch slice's ledger charge, assembled by the kernel.
@@ -369,7 +383,7 @@ func (c *Collector) Charge(b Burst) {
 		d.CtxSwitchPs = ctxPs
 	}
 	for _, s := range b.Segs {
-		useful := int64(s.IdealPs)
+		useful := s.IdealPs
 		if useful > s.ActualPs {
 			useful = s.ActualPs
 		}

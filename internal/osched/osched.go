@@ -16,7 +16,6 @@
 package osched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -204,18 +203,64 @@ type event struct {
 	fn   func(*Kernel) // evTimer callback
 }
 
+// eventHeap is a binary min-heap ordered by (ps, seq) with its own typed
+// sift operations. container/heap's interface (Push(x any) / Pop() any)
+// boxes every event into a heap allocation on the simulator's hottest
+// path; the typed version keeps events in the backing array end to end.
+// An allocs-per-dispatch regression test pins this property.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].ps != h[j].ps {
 		return h[i].ps < h[j].ps
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// push inserts an event and sifts it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. Callers peek first, so pop is
+// never called on an empty heap.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the task/fn pointers so the GC can reclaim them
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
 func (h eventHeap) Peek() (event, bool) {
 	if len(h) == 0 {
 		return event{}, false
@@ -267,8 +312,15 @@ type Kernel struct {
 	// bit-identical to an unledgered one. Spawn attaches a step-attribution
 	// accumulator (ledger.Work) to each process it admits.
 	Ledger *ledger.Collector
+	// Memo, when set, caches segment outcomes so repeated executions replay
+	// in O(1) (exec.SegmentMemo). It must be set before the first Spawn.
+	// Memoization is invisible to every observer — marks, monitor windows,
+	// ledger charges, traces — so a memoized run is byte-identical to an
+	// unmemoized one; the memo may be shared across concurrent kernels.
+	Memo *exec.SegmentMemo
 
 	params  []exec.CoreParams
+	fastPs  int64
 	cores   []coreState
 	events  eventHeap
 	seq     uint64
@@ -309,6 +361,14 @@ func NewKernel(m *amp.Machine, cost exec.CostModel, cfg Config) (*Kernel, error)
 		k.cores = append(k.cores, coreState{id: c.ID, typ: c.Type, l2: c.L2})
 		k.typeCores[c.Type]++
 	}
+	// Fastest clock: prices the ledger's useful-work counterfactual and
+	// keys memo lanes (ledgered and unledgered runs must share lanes).
+	k.fastPs = k.params[0].PsPerCycle
+	for _, p := range k.params[1:] {
+		if p.PsPerCycle < k.fastPs {
+			k.fastPs = p.PsPerCycle
+		}
+	}
 	return k, nil
 }
 
@@ -336,7 +396,7 @@ func (k *Kernel) Params() []exec.CoreParams { return k.params }
 // push schedules an event.
 func (k *Kernel) push(ps int64, kind evKind, core int) {
 	k.seq++
-	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: kind, core: core})
+	k.events.push(event{ps: ps, seq: k.seq, kind: kind, core: core})
 }
 
 // pushArrive schedules a task arrival: the task is in flight (its burst
@@ -345,7 +405,7 @@ func (k *Kernel) push(ps int64, kind evKind, core int) {
 // is what keeps a task from being visible in two places at once.
 func (k *Kernel) pushArrive(ps int64, t *Task, core int) {
 	k.seq++
-	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: evArrive, core: core, task: t})
+	k.events.push(event{ps: ps, seq: k.seq, kind: evArrive, core: core, task: t})
 }
 
 // Spawn creates a task for the process and enqueues it. The affinity mask 0
@@ -371,6 +431,11 @@ func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) 
 		if p.Work == nil {
 			p.Work = k.Ledger.Work()
 		}
+	}
+	if k.Memo != nil {
+		// Arm before the first step: the memo's incremental state hashes
+		// must cover the process's whole execution.
+		p.EnableMemo()
 	}
 	k.live++
 	if k.live > k.peakLive {
@@ -452,7 +517,11 @@ func (k *Kernel) enqueue(t *Task, core int) {
 	cs := &k.cores[core]
 	if t.arriveHead {
 		t.arriveHead = false
-		cs.queue = append([]*Task{t}, cs.queue...)
+		// Shift in place rather than rebuilding the slice: queues keep
+		// their capacity, so steady-state enqueueing never allocates.
+		cs.queue = append(cs.queue, nil)
+		copy(cs.queue[1:], cs.queue)
+		cs.queue[0] = t
 	} else {
 		cs.queue = append(cs.queue, t)
 	}
@@ -493,7 +562,7 @@ func (k *Kernel) RunCancellable(untilSec float64, cancelled func() bool) bool {
 				}
 			}
 		}
-		heap.Pop(&k.events)
+		k.events.pop()
 		if e.ps > k.nowPs {
 			k.nowPs = e.ps
 		}
@@ -514,7 +583,7 @@ func (k *Kernel) RunUntilDone(maxSec float64) error {
 		if e.ps > horizon {
 			return fmt.Errorf("osched: horizon %.1fs exceeded with %d tasks live", maxSec, k.live)
 		}
-		heap.Pop(&k.events)
+		k.events.pop()
 		if e.ps > k.nowPs {
 			k.nowPs = e.ps
 		}
@@ -589,7 +658,7 @@ func (k *Kernel) At(ps int64, fn func(*Kernel)) {
 		ps = k.nowPs
 	}
 	k.seq++
-	heap.Push(&k.events, event{ps: ps, seq: k.seq, kind: evTimer, fn: fn})
+	k.events.push(event{ps: ps, seq: k.seq, kind: evTimer, fn: fn})
 }
 
 // ensurePeriodicEvents seeds the balance and sample events once.
@@ -626,7 +695,14 @@ func (k *Kernel) dispatch(core int) {
 		return
 	}
 	t := cs.queue[0]
-	cs.queue = cs.queue[1:]
+	// Pop by shifting down, not by reslicing off the front: reslicing
+	// strands the popped slot's capacity, so every queue would reallocate
+	// on append at a steady cadence. Shifting keeps the buffer anchored
+	// and the hot loop allocation-free; queues are a handful of tasks, so
+	// the copy is cheaper than the allocs it avoids.
+	n := copy(cs.queue, cs.queue[1:])
+	cs.queue[n] = nil
+	cs.queue = cs.queue[:n]
 	t.State = TaskRunning
 	queueWaitPs := k.nowPs - t.lastQueuedPs
 
@@ -677,11 +753,29 @@ func (k *Kernel) dispatch(core int) {
 
 	instrBefore := t.Proc.Counters.Instructions
 	k.Cache.Attach(cs.l2)
+	// The effective share is constant for the whole burst: Attach/Detach
+	// bracket the loop and no other handler runs in between, so hoisting
+	// the lookup out of the step loop is exact — and it is what lets the
+	// memo key a lane on the share.
+	share := k.Cache.ShareKB(cs.l2)
+	var lane *exec.Lane
+	if k.Memo != nil {
+		lane = k.Memo.LaneFor(t.Proc, par, share, k.fastPs)
+	}
 
 	exited := false
 	migrate := false
 	for used < sliceCycles {
-		res := t.Proc.Step(par, core, k.Cache.ShareKB(cs.l2))
+		var res exec.StepResult
+		if lane != nil {
+			if adv := t.Proc.Advance(lane, sliceCycles-used); adv > 0 {
+				used += adv
+				continue
+			}
+			res = t.Proc.StepLane(lane, core)
+		} else {
+			res = t.Proc.Step(par, core, share)
+		}
 		used += res.Cycles
 		if res.Exited {
 			exited = true
@@ -695,6 +789,8 @@ func (k *Kernel) dispatch(core int) {
 			}
 		}
 	}
+	// A slice boundary is observer-visible: close any open recording.
+	t.Proc.EndSlice()
 
 	k.Cache.Detach(cs.l2)
 	k.totalInstr += t.Proc.Counters.Instructions - instrBefore
@@ -736,6 +832,11 @@ func (k *Kernel) dispatch(core int) {
 			Sliced:        ocScale < 1,
 			Segs:          segs,
 		})
+		if t.Proc.Work != nil {
+			// Charge copies what it needs; hand the segment storage back so
+			// the next burst appends in place instead of allocating.
+			t.Proc.Work.Recycle(segs)
+		}
 	}
 	if k.TraceBurst != nil {
 		k.TraceBurst(core, t, used, k.nowPs, end)

@@ -118,6 +118,12 @@ type RunConfig struct {
 	// Cache, when set, serves prepared images from the shared artifact
 	// cache instead of re-running the static pipeline per run.
 	Cache *ImageCache
+	// Memo, when set, caches segment outcomes across runs so repeated
+	// executions replay in O(1) (exec.SegmentMemo). Memoization is
+	// invisible: a memoized run's Result is byte-identical to an
+	// unmemoized one. Like Trace it is process-local and never crosses
+	// the dist wire — workers attach their own memo.
+	Memo *exec.SegmentMemo
 	// Events, when set, receives per-run progress callbacks.
 	Events Events
 	// Trace, when set, records the run's event timeline (scheduler bursts,
@@ -316,6 +322,7 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		return nil, err
 	}
 	kernel.Trace = cfg.Trace
+	kernel.Memo = cfg.Memo
 	var col *ledger.Collector
 	if cfg.Ledger {
 		// Useful work is priced at the machine's fastest clock (smallest

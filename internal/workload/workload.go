@@ -16,7 +16,7 @@
 // ScaleDivisor (bwaves capped), under the scaled simulation clock of
 // package amp; phase alternation counts follow the paper's switch counts
 // under the same divisor. Uniform scaling preserves every relative quantity
-// (see DESIGN.md §13).
+// (see DESIGN.md §14).
 //
 // Beyond the fixed suite, the package provides the synthetic
 // alternation-rate axis of the misprediction-cost breakdown (AltSpec,

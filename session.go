@@ -110,6 +110,9 @@ type Session struct {
 	placement PlacementConfig
 	policy    Policy
 	cache     *ImageCache
+	memo      *SegmentMemo
+	memoOff   bool
+	memoSize  int
 	workers   int
 	events    Events
 	tracer    *Tracer
@@ -179,6 +182,25 @@ func WithPlacement(c PlacementConfig) SessionOption { return func(s *Session) { 
 // machines — images depend only on program content and the cost model.
 func WithCache(c *ImageCache) SessionOption { return func(s *Session) { s.cache = c } }
 
+// WithSegmentMemo shares an existing segment memo (default: a fresh memo
+// per session). Pass the same memo to several sessions so campaigns over
+// the same images replay each other's segment outcomes; the memo is safe
+// for concurrent use and invisible to results.
+func WithSegmentMemo(m *SegmentMemo) SessionOption { return func(s *Session) { s.memo = m } }
+
+// WithSegmentMemoSize bounds the session's segment memo to maxChunks
+// cached chunks (default DefaultMemoChunks). When full, the memo stops
+// recording but keeps serving hits. Ignored when WithSegmentMemo supplies
+// a memo built elsewhere.
+func WithSegmentMemoSize(maxChunks int) SessionOption {
+	return func(s *Session) { s.memoSize = maxChunks }
+}
+
+// WithoutSegmentMemo disables segment memoization for the session's runs.
+// Results are byte-identical either way — the switch exists for memory-
+// constrained environments and for A/B-testing the memo itself.
+func WithoutSegmentMemo() SessionOption { return func(s *Session) { s.memoOff = true } }
+
 // WithWorkers bounds the sweep worker pool (default: GOMAXPROCS).
 func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
 
@@ -226,6 +248,13 @@ func NewSession(opts ...SessionOption) *Session {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.memoOff {
+		s.memo = nil
+	} else if s.memo == nil {
+		// Memoization is on by default: it is invisible to results and
+		// collapses the redundant re-execution inside campaign grids.
+		s.memo = exec.NewSegmentMemo(s.memoSize)
+	}
 	return s
 }
 
@@ -234,6 +263,14 @@ func (s *Session) Cache() *ImageCache { return s.cache }
 
 // CacheStats reports the session cache's hit/miss counters.
 func (s *Session) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Memo returns the session's segment memo (nil when disabled), for stats
+// or sharing across sessions.
+func (s *Session) Memo() *SegmentMemo { return s.memo }
+
+// MemoStats reports the segment memo's lane/chunk counts and hit rates.
+// The zero value is returned when memoization is disabled.
+func (s *Session) MemoStats() MemoStats { return s.memo.Stats() }
 
 // RunSpec configures one run within a session. Zero values inherit the
 // session defaults; only what varies per run needs to be set.
@@ -378,6 +415,7 @@ func (s *Session) runConfig(spec RunSpec) (sim.RunConfig, error) {
 		TypingError: spec.TypingError,
 		Seed:        spec.Seed,
 		Cache:       s.cache,
+		Memo:        s.memo,
 		Events:      s.events,
 		Trace:       s.tracer,
 		Ledger:      s.ledger,

@@ -43,6 +43,7 @@ func benchSweepSpecs(b *testing.B) []phasetune.RunSpec {
 // every benchmark in every run.
 func BenchmarkGridSequential(b *testing.B) {
 	specs := benchSweepSpecs(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
@@ -66,6 +67,7 @@ func BenchmarkGridSequential(b *testing.B) {
 func BenchmarkGridSweep(b *testing.B) {
 	specs := benchSweepSpecs(b)
 	sess := phasetune.NewSession()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sess.Sweep(context.Background(), specs); err != nil {
@@ -76,4 +78,10 @@ func BenchmarkGridSweep(b *testing.B) {
 	stats := sess.CacheStats()
 	b.ReportMetric(float64(stats.Misses), "pipeline-runs")
 	b.ReportMetric(float64(stats.Hits), "cache-hits")
+	// The session's segment memo records the first iteration and replays
+	// the rest: from b.N >= 2 the hit rate is the fraction of chunk
+	// lookups served without re-stepping the interpreter.
+	memo := sess.MemoStats()
+	b.ReportMetric(memo.HitRate(), "memo-hit-rate")
+	b.ReportMetric(float64(memo.ReplayedSteps), "memo-replayed-steps")
 }
