@@ -17,11 +17,13 @@
 // `cmd/experiments -run serving -benchout` render as latency quantile
 // strips, `ledger` entries appended by `cmd/experiments -run showdown
 // -ledger -benchout` render as per-policy cycle-attribution stacked bars,
+// `contention` entries appended by `cmd/experiments -run contention
+// -benchout` render as a shared-cache herding table,
 // and entries of kinds this build does not know are called out by
 // kind and count rather than silently skipped. The regression gate
 // compares the last two *timing* entries, so appending a breakdown map, a
-// serving summary, or an attribution rollup never masks (or fakes) a
-// benchmark regression. It exits
+// serving summary, an attribution rollup, or a herding table never masks
+// (or fakes) a benchmark regression. It exits
 // non-zero when any benchmark regressed by more than -regression percent —
 // CI wires it as a soft-fail step so the performance trajectory is
 // inspected on every push without blocking unrelated work.
@@ -105,7 +107,7 @@ func runHistory(path string, regressionPct float64) error {
 	// charts as heatmaps, the latest serving entry as quantile strips,
 	// anything newer than this build is surfaced.
 	var timings []benchhist.Entry
-	var lastBreakdown, lastServing, lastLedger *benchhist.Entry
+	var lastBreakdown, lastServing, lastLedger, lastContention *benchhist.Entry
 	unknown := map[string]int{}
 	for i := range hist.Entries {
 		e := hist.Entries[i]
@@ -118,6 +120,8 @@ func runHistory(path string, regressionPct float64) error {
 			lastServing = &hist.Entries[i]
 		case benchhist.KindLedger:
 			lastLedger = &hist.Entries[i]
+		case benchhist.KindContention:
+			lastContention = &hist.Entries[i]
 		default:
 			unknown[e.Kind]++
 		}
@@ -228,6 +232,23 @@ func runHistory(path string, regressionPct float64) error {
 			fmt.Printf("\n%s\n", machine)
 			fmt.Print(textplot.StackedBars(names, segments, vals, 48))
 		}
+	}
+
+	if lastContention != nil {
+		fmt.Printf("\nshared-cache contention (recorded %s): hottest-group share of memory-bound time\n",
+			lastContention.Timestamp)
+		t := textplot.NewTable("machine", "policy", "priced", "max-share", "groups", "tput%")
+		for _, r := range lastContention.Contention {
+			priced := "-"
+			if r.Priced {
+				priced = "yes"
+			}
+			t.AddRow(r.Machine, r.Policy, priced,
+				fmt.Sprintf("%.3f", r.MaxMemShare),
+				fmt.Sprintf("%.1f", r.GroupsUsed),
+				fmt.Sprintf("%+.2f", r.ThroughputPct))
+		}
+		fmt.Print(t.String())
 	}
 
 	if len(timings) < 2 {

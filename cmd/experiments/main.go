@@ -5,7 +5,7 @@
 //
 //	experiments [-run all|fig3|fig4|table1|fig5|fig6|fig7|table2|fig8|
 //	             switchcost|typing|threecore|showdown|window|breakdown|
-//	             serving|ablations]
+//	             serving|contention|ablations]
 //	            [-slots N] [-duration SEC] [-seeds a,b,c] [-quick]
 //	            [-workers N] [-shards N] [-cachestats] [-ledger]
 //	            [-alts a,b,c] [-windows a,b,c] [-benchout FILE]
@@ -37,6 +37,15 @@
 // the Chrome trace-event JSON timeline to the given path — one traced
 // run, outside the sweep, because concurrent cells would interleave
 // events nondeterministically. The path is validated (created) up front.
+//
+// -run contention is the shared-cache herding experiment: the
+// memory-antagonist fleet on the hex and quad machines, every placement
+// policy unpriced (measuring how IPC-only arbitration herds the
+// antagonists onto one cache group) and every engine-backed policy
+// contention-priced (measuring the separation and recovered throughput).
+// The table's max-share column is the hottest cache group's share of
+// memory-bound core time: 1.0 is fully herded, 1/groups a perfect spread.
+// -benchout appends the rows as a `contention` entry.
 //
 // -ledger enables conserved cycle accounting on every run: the showdown,
 // serving, and breakdown tables grow attribution columns decomposing each
@@ -206,6 +215,7 @@ func main() {
 		{"window", window},
 		{"breakdown", breakdown},
 		{"serving", serving},
+		{"contention", contention},
 		{"ablations", ablations},
 	} {
 		if all || *runFlag == exp.name {
@@ -742,6 +752,86 @@ func serving(cfg experiments.Config) error {
 			st.Admitted, st.Completed)
 		fmt.Printf("wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n",
 			tr.Len(), servingOpts.trace)
+	}
+	return nil
+}
+
+func contention(cfg experiments.Config) error {
+	header("Shared-cache contention — antagonist herding vs contention-priced placement")
+	rows, err := experiments.Contention(cfg, nil)
+	if err != nil {
+		return err
+	}
+
+	t := textplot.NewTable("machine", "policy", "priced", "tput", "tput%",
+		"max-share", "groups", "mem-tasks", "switches", "shares")
+	var hist []benchhist.ContentionRow
+	for _, r := range rows {
+		priced := "-"
+		if r.Priced {
+			priced = "yes"
+		}
+		var shares []string
+		for _, s := range r.MemShare {
+			shares = append(shares, fmt.Sprintf("%.2f", s))
+		}
+		t.AddRow(r.Machine, r.Policy.String(), priced,
+			fmt.Sprintf("%.4g", r.Throughput),
+			fmt.Sprintf("%+.2f", r.ThroughputPct),
+			fmt.Sprintf("%.3f", r.MaxMemShare),
+			fmt.Sprintf("%.1f", r.GroupsUsed),
+			fmt.Sprintf("%.1f", r.MemTasks),
+			fmt.Sprintf("%.0f", r.Switches),
+			strings.Join(shares, "/"))
+		hist = append(hist, benchhist.ContentionRow{
+			Machine: r.Machine, Policy: r.Policy.String(), Priced: r.Priced,
+			Throughput: r.Throughput, ThroughputPct: r.ThroughputPct,
+			MemShare: r.MemShare, MaxMemShare: r.MaxMemShare,
+			GroupsUsed: r.GroupsUsed, MemTasks: r.MemTasks,
+		})
+	}
+	fmt.Print(t.String())
+
+	// One bar chart per machine: the herding signature by policy, unpriced
+	// vs priced side by side.
+	var machines []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Machine] {
+			seen[r.Machine] = true
+			machines = append(machines, r.Machine)
+		}
+	}
+	for _, machine := range machines {
+		var names []string
+		var vals []float64
+		for _, r := range rows {
+			if r.Machine != machine {
+				continue
+			}
+			label := r.Policy.String()
+			if r.Priced {
+				label += "+price"
+			}
+			names = append(names, label)
+			vals = append(vals, r.MaxMemShare)
+		}
+		fmt.Printf("\n%s — hottest cache group's share of memory-bound time (1.0 = herded)\n", machine)
+		fmt.Print(textplot.Bars(names, vals, 48))
+	}
+
+	if breakdownOpts.out != "" {
+		err := benchhist.Append(breakdownOpts.out, benchhist.Entry{
+			Kind:       benchhist.KindContention,
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			MaxProcs:   runtime.GOMAXPROCS(0),
+			Contention: hist,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nappended contention entry to %s\n", breakdownOpts.out)
 	}
 	return nil
 }

@@ -186,8 +186,14 @@ func buildCampaign(o coordOpts, cfg experiments.Config) (dist.Campaign, error) {
 			return dist.Campaign{}, err
 		}
 		return experiments.ServingCampaign(cfg, m), nil
+	case "contention":
+		m, err := parseMachine(o.machine)
+		if err != nil {
+			return dist.Campaign{}, err
+		}
+		return experiments.ContentionCampaign(cfg, m), nil
 	}
-	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window|breakdown|serving)", o.campaign)
+	return dist.Campaign{}, fmt.Errorf("unknown campaign %q (want showdown|grid|window|breakdown|serving|contention)", o.campaign)
 }
 
 func runCoordinator(o coordOpts) error {

@@ -15,7 +15,7 @@
 // the *nominal* frequency used to convert nanosecond latencies to cycles, so
 // all cycle-level ratios match the real machine; only absolute durations are
 // scaled (uniformly), which preserves every relative quantity the paper
-// reports. See DESIGN.md §14.
+// reports. See DESIGN.md §15.
 package amp
 
 import (

@@ -33,6 +33,9 @@ const (
 	KindServing = "serving"
 	// KindLedger marks a cycle-attribution entry.
 	KindLedger = "ledger"
+	// KindContention marks a shared-cache contention (antagonist herding)
+	// entry.
+	KindContention = "contention"
 )
 
 // Benchmark is one recorded timing measurement.
@@ -135,13 +138,44 @@ type LedgerRow struct {
 	IdlePct float64 `json:"idle_pct"`
 }
 
+// ContentionRow is one (machine, policy, priced) cell of the shared-cache
+// herding campaign recorded by `cmd/experiments -run contention -benchout`
+// (experiments.Contention). Contention rows are data, not timings: the
+// -history regression gate compares benchmark timings only and must never
+// trip on a contention entry.
+type ContentionRow struct {
+	// Machine is the machine name.
+	Machine string `json:"machine"`
+	// Policy is the placement-policy column name.
+	Policy string `json:"policy"`
+	// Priced reports whether the engine ran contention-priced.
+	Priced bool `json:"priced"`
+	// Throughput is mean committed instructions per second.
+	Throughput float64 `json:"throughput"`
+	// ThroughputPct is the improvement over the machine's unpriced stock
+	// row, in percent.
+	ThroughputPct float64 `json:"throughput_pct"`
+	// MemShare is the per-cache-group share of memory-bound core time in
+	// machine group order (Σ = 1 when any antagonist ran).
+	MemShare []float64 `json:"mem_share"`
+	// MaxMemShare is the hottest group's share — the herding signature
+	// (1.0 = fully herded, 1/groups = perfect spread).
+	MaxMemShare float64 `json:"max_mem_share"`
+	// GroupsUsed is the mean number of cache groups hosting memory-bound
+	// time.
+	GroupsUsed float64 `json:"groups_used"`
+	// MemTasks is the mean number of tasks classified memory-bound.
+	MemTasks float64 `json:"mem_tasks"`
+}
+
 // Entry is one producer invocation.
 type Entry struct {
 	Schema string `json:"schema,omitempty"`
 	// Kind discriminates the payload: "" = benchmark timings (Benchmarks,
 	// Derived), "breakdown" = breakdown maps (Breakdown), "serving" =
 	// serving latency summaries (Serving), "ledger" = cycle-attribution
-	// rollups (Ledger). Consumers must treat unknown kinds as data to be
+	// rollups (Ledger), "contention" = shared-cache herding rows
+	// (Contention). Consumers must treat unknown kinds as data to be
 	// surfaced, not silently dropped.
 	Kind       string             `json:"kind,omitempty"`
 	Timestamp  string             `json:"timestamp,omitempty"`
@@ -153,6 +187,7 @@ type Entry struct {
 	Breakdown  []Breakdown        `json:"breakdown,omitempty"`
 	Serving    []Serving          `json:"serving,omitempty"`
 	Ledger     []LedgerRow        `json:"ledger,omitempty"`
+	Contention []ContentionRow    `json:"contention,omitempty"`
 }
 
 // History is the file format: one entry per invocation, oldest first.

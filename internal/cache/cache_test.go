@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"sync"
 	"testing"
 
 	"phasetune/internal/amp"
@@ -51,4 +52,58 @@ func TestDifferentGroupSizes(t *testing.T) {
 	if m.ShareKB(0) != 4096 || m.ShareKB(1) != 2048 {
 		t.Errorf("shares = %g, %g; want 4096, 2048", m.ShareKB(0), m.ShareKB(1))
 	}
+}
+
+func TestDetachUnderflowIsPerGroup(t *testing.T) {
+	// Occupancy elsewhere must not mask an underflow: detaching group 1
+	// while only group 0 is occupied is an accounting bug and must panic.
+	m := New(amp.Quad2Fast2Slow())
+	m.Attach(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach on empty group 1 did not panic despite group 0 occupancy")
+		}
+	}()
+	m.Detach(1)
+}
+
+func TestDetachExactBalancePanicsOnExtra(t *testing.T) {
+	m := New(amp.Hex2Big2Medium2Little())
+	for i := 0; i < 3; i++ {
+		m.Attach(2)
+	}
+	for i := 0; i < 3; i++ {
+		m.Detach(2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detach past exact balance did not panic")
+		}
+	}()
+	m.Detach(2)
+}
+
+func TestConcurrentModelsIndependent(t *testing.T) {
+	// Concurrent sweep runs each own a Model built from one shared machine
+	// description; under -race this pins that New only reads the machine
+	// and models never share mutable state.
+	machine := amp.Hex2Big2Medium2Little()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := New(machine)
+			for i := 0; i < 1000; i++ {
+				g := i % len(machine.L2s)
+				m.Attach(g)
+				if m.ShareKB(g) <= 0 {
+					t.Error("non-positive share")
+					return
+				}
+				m.Detach(g)
+			}
+		}()
+	}
+	wg.Wait()
 }

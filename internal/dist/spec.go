@@ -63,8 +63,15 @@ import (
 // OvercommitSlices); v5 added campaign-wide cycle accounting
 // (EnvSpec.Ledger lowering to sim.RunConfig.Ledger) and the ledger
 // rollup in result encodings (sim.Result.Ledger), which must merge
-// byte-identically like every other Result field.
-const SpecVersion = 5
+// byte-identically like every other Result field; v6 added contention
+// pricing (place.Config.Contention inside Spec.Placement), the
+// memory-antagonist fleet axis (workload.Spec.Fleet), and per-group
+// cache residency stats (Spec.CacheStats lowering to
+// sim.RunConfig.CacheStats, sim.Result.CacheStats in result encodings)
+// — all omitempty, so specs and results not using them encode
+// byte-identically to v5 payloads, but run semantics diverge whenever
+// they are set, hence the bump.
+const SpecVersion = 6
 
 // EnvSpec is the serialized session environment: everything a worker needs
 // to rebuild the simulation stack that is shared by every run of a
@@ -139,6 +146,12 @@ type Spec struct {
 	TypingError float64 `json:"typing_error"`
 	// Seed drives workload process seeds and error injection.
 	Seed uint64 `json:"seed"`
+	// CacheStats enables the kernel's per-cache-group residency map for
+	// this run (sim.RunConfig.CacheStats; the rollup lands in
+	// sim.Result.CacheStats and must merge byte-identically like every
+	// other Result field). Per-spec rather than campaign-wide: only the
+	// contention cells of a grid read it.
+	CacheStats bool `json:"cache_stats,omitempty"`
 }
 
 // RunConfig lowers a wire spec onto the environment. The machine, cost,
@@ -179,6 +192,7 @@ func (e EnvSpec) RunConfig(sp Spec, suite []*workload.Benchmark, cache *sim.Imag
 		Seed:        sp.Seed,
 		Cache:       cache,
 		Ledger:      e.Ledger,
+		CacheStats:  sp.CacheStats,
 	}, nil
 }
 

@@ -64,7 +64,36 @@ type Image struct {
 
 	blocks [][]blockInfo
 	entry  int32
+	memSig MemSig
 }
+
+// MemSig is an image's aggregate shared-cache pressure signature: the
+// statically estimated density of references reaching the shared L2 and
+// the reference-weighted reuse profile behind them. The placement engine's
+// contention pricing (place.MemStats) consumes it to project the marginal
+// stall of cache-group crowding.
+//
+// The aggregate is instruction-weighted over static blocks, not dynamic
+// executions: loop-heavy phase bodies and cold utility code weigh by their
+// static instruction counts. That dilutes L2RefsPerInstr for binaries with
+// large cold sections, but the profile — weighted by memory references,
+// which cold code barely has — stays phase-dominated, and the pricing it
+// feeds is relative (crowded share vs. solo share), so the dilution shifts
+// magnitudes without reordering candidates. A per-phase refinement (the
+// phase-signature library of PAPERS.md's phase-distance mapping, or real
+// L2 miss counters) would sharpen it; the oracle already computes the
+// per-phase version from the same block data (online.OracleDecisions).
+type MemSig struct {
+	// L2RefsPerInstr is the expected references per retired instruction
+	// that miss the private L1 and reach the shared cache.
+	L2RefsPerInstr float64
+	// Profile is the reference-weighted aggregate reuse profile.
+	Profile reuse.Profile
+}
+
+// MemSignature returns the image's aggregate shared-cache signature,
+// precomputed at image build.
+func (img *Image) MemSignature() MemSig { return img.memSig }
 
 // NewImage precomputes an image for execution. bin may be nil to execute an
 // uninstrumented program; otherwise bin.Prog must equal p.
@@ -100,7 +129,31 @@ func NewImage(p *prog.Program, bin *instrument.Binary, cm CostModel) (*Image, er
 		}
 		img.blocks[pi] = infos
 	}
+	img.memSig = memSignature(img.blocks)
 	return img, nil
+}
+
+// memSignature aggregates the per-block summaries into the image's MemSig.
+func memSignature(blocks [][]blockInfo) MemSig {
+	var sig MemSig
+	var instrs int64
+	var l1Miss float64
+	refs := 0
+	for _, infos := range blocks {
+		for i := range infos {
+			info := &infos[i]
+			instrs += info.instrs
+			l1Miss += info.l1MissRefs
+			if info.memRefs > 0 {
+				sig.Profile = reuse.Combine(sig.Profile, refs, info.profile, int(info.memRefs))
+				refs += int(info.memRefs)
+			}
+		}
+	}
+	if instrs > 0 {
+		sig.L2RefsPerInstr = l1Miss / float64(instrs)
+	}
+	return sig
 }
 
 // summarizeBlock precomputes the interpreter view of one block.

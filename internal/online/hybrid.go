@@ -287,6 +287,7 @@ func (m *Hybrid) record(st *hybridState, pt phase.Type, ct amp.CoreTypeID, ipc f
 		return
 	}
 	dec := m.engine.Decide(st.table.Means(key))
+	dec.Mem = memStatsOf(st.proc.Img)
 	st.table.SetDecision(key, dec)
 	if first {
 		m.stats.Decisions++

@@ -5,7 +5,96 @@ import (
 	"phasetune/internal/exec"
 	"phasetune/internal/phase"
 	"phasetune/internal/place"
+	"phasetune/internal/reuse"
 )
+
+// memStatsOf converts an image's shared-cache signature into the engine's
+// MemStats, the form Decision.Mem carries. All three runtime consumers
+// (tuner spill, online probe, hybrid refresh) attach it through this one
+// helper so the engine prices every policy from the same signature.
+func memStatsOf(img *exec.Image) *place.MemStats {
+	if img == nil {
+		return nil
+	}
+	sig := img.MemSignature()
+	return &place.MemStats{L2RefsPerInstr: sig.L2RefsPerInstr, Profile: sig.Profile}
+}
+
+// oracleRow is one phase type's perfect-knowledge estimate: per-core-type
+// IPC plus the phase's shared-cache pressure, both instruction-weighted
+// over the phase's blocks.
+type oracleRow struct {
+	ipc []float64
+	mem place.MemStats
+}
+
+// oracleTables computes the per-phase-type estimates behind both oracle
+// forms: for every typed block, the static per-block IPC estimate on each
+// core type (exec.BlockIPC at the solo L2 share) and the block's shared-
+// cache reference density, instruction-weighted into per-phase rows.
+func oracleTables(img *exec.Image, topts phase.Options, cm exec.CostModel,
+	m *amp.Machine) (map[phase.Type]*oracleRow, error) {
+
+	typing, err := phase.ClusterBlocks(img.Prog, img.Graphs, topts)
+	if err != nil {
+		return nil, err
+	}
+	pars := exec.ParamsFor(cm, m)
+	shareKB := m.L2s[0].SizeKB
+
+	// Per phase type, per core type: instruction-weighted IPC sums plus
+	// reference-weighted reuse aggregation.
+	type acc struct {
+		ipcW    []float64
+		w       float64
+		l2W     float64
+		prof    reuse.Profile
+		memRefs int
+	}
+	accs := map[phase.Type]*acc{}
+	for pi, g := range img.Graphs {
+		for _, blk := range g.Blocks {
+			pt := typing.TypeOf(phase.BlockKey{Proc: pi, Block: blk.ID})
+			if pt == phase.Untyped {
+				continue
+			}
+			a, ok := accs[pt]
+			if !ok {
+				a = &acc{ipcW: make([]float64, len(pars))}
+				accs[pt] = a
+			}
+			mix := blk.Mix()
+			w := float64(mix.Total())
+			if w <= 0 {
+				continue
+			}
+			for t := range pars {
+				a.ipcW[t] += w * exec.BlockIPC(blk, &pars[t], cm, shareKB)
+			}
+			a.w += w
+			if memRefs := mix.MemOps(); memRefs > 0 {
+				prof := phase.BlockProfile(blk)
+				a.l2W += float64(memRefs) * prof.L1MissFraction()
+				a.prof = reuse.Combine(a.prof, a.memRefs, prof, memRefs)
+				a.memRefs += memRefs
+			}
+		}
+	}
+
+	out := make(map[phase.Type]*oracleRow, len(accs))
+	for pt, a := range accs {
+		if a.w <= 0 {
+			continue
+		}
+		row := &oracleRow{ipc: make([]float64, len(a.ipcW))}
+		for t := range row.ipc {
+			row.ipc[t] = a.ipcW[t] / a.w
+		}
+		row.mem = place.MemStats{L2RefsPerInstr: a.l2W / a.w, Profile: a.prof}
+		out[pt] = row
+	}
+	return out, nil
+}
 
 // OracleAssignments computes the perfect-knowledge placement for an
 // instrumented image: for every phase type, the instruction-weighted mean
@@ -20,51 +109,37 @@ import (
 func OracleAssignments(img *exec.Image, topts phase.Options, cm exec.CostModel,
 	m *amp.Machine, delta float64) (map[phase.Type]uint64, error) {
 
-	typing, err := phase.ClusterBlocks(img.Prog, img.Graphs, topts)
+	rows, err := oracleTables(img, topts, cm, m)
 	if err != nil {
 		return nil, err
 	}
-	pars := exec.ParamsFor(cm, m)
-	shareKB := m.L2s[0].SizeKB
-
-	// Per phase type, per core type: instruction-weighted IPC sums.
-	type acc struct {
-		ipcW []float64
-		w    float64
+	out := make(map[phase.Type]uint64, len(rows))
+	for pt, row := range rows {
+		out[pt] = m.TypeMask(place.Select(m, row.ipc, delta))
 	}
-	accs := map[phase.Type]*acc{}
-	for pi, g := range img.Graphs {
-		for _, blk := range g.Blocks {
-			pt := typing.TypeOf(phase.BlockKey{Proc: pi, Block: blk.ID})
-			if pt == phase.Untyped {
-				continue
-			}
-			a, ok := accs[pt]
-			if !ok {
-				a = &acc{ipcW: make([]float64, len(pars))}
-				accs[pt] = a
-			}
-			w := float64(blk.Mix().Total())
-			if w <= 0 {
-				continue
-			}
-			for t := range pars {
-				a.ipcW[t] += w * exec.BlockIPC(blk, &pars[t], cm, shareKB)
-			}
-			a.w += w
-		}
-	}
+	return out, nil
+}
 
-	out := make(map[phase.Type]uint64, len(accs))
-	for pt, a := range accs {
-		if a.w <= 0 {
-			continue
-		}
-		f := make([]float64, len(a.ipcW))
-		for t := range f {
-			f[t] = a.ipcW[t] / a.w
-		}
-		out[pt] = m.TypeMask(place.Select(m, f, delta))
+// OracleDecisions is the engine-backed oracle form: the same perfect
+// per-phase estimates, fixed into full engine Decisions (Algorithm 2 choice,
+// spill-pricing rates, and the phase's *per-phase* shared-cache signature —
+// sharper than the image-level aggregate the runtime policies carry, as
+// befits a clairvoyant baseline). Contention-priced oracle runs register
+// these through a shared engine so even the upper bound pays for cache-group
+// crowding; unpriced runs keep the plain mask path (OracleAssignments).
+func OracleDecisions(eng *place.Engine, img *exec.Image, topts phase.Options,
+	cm exec.CostModel, m *amp.Machine) (map[phase.Type]place.Decision, error) {
+
+	rows, err := oracleTables(img, topts, cm, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[phase.Type]place.Decision, len(rows))
+	for pt, row := range rows {
+		dec := eng.Decide(row.ipc)
+		mem := row.mem
+		dec.Mem = &mem
+		out[pt] = dec
 	}
 	return out, nil
 }
@@ -97,3 +172,44 @@ func (h *OracleHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction
 
 // OnExit implements exec.MarkHook.
 func (h *OracleHook) OnExit(p *exec.Process) {}
+
+// OracleEngineHook is the contention-priced oracle's mark hook: phase marks
+// register the precomputed Decision as a capacity claim on one engine
+// shared by every process of the run, and the affinity mask comes out of
+// the engine's arbitration — quota spills, contention pricing, and relief
+// included. It implements exec.MarkHook.
+type OracleEngineHook struct {
+	eng  *place.Engine
+	img  *exec.Image
+	decs map[phase.Type]place.Decision
+	// SwitchRequests counts affinity calls issued (diagnostics).
+	SwitchRequests int
+}
+
+// NewOracleEngineHook builds the engine-backed hook; decs is the image's
+// OracleDecisions table (shared across the image's processes), eng the
+// run-wide oracle engine.
+func NewOracleEngineHook(eng *place.Engine, img *exec.Image, decs map[phase.Type]place.Decision) *OracleEngineHook {
+	return &OracleEngineHook{eng: eng, img: img, decs: decs}
+}
+
+// OnMark implements exec.MarkHook.
+func (h *OracleEngineHook) OnMark(p *exec.Process, markID, coreID int) exec.MarkAction {
+	dec, ok := h.decs[h.img.MarkType(markID)]
+	if !ok {
+		return exec.MarkAction{}
+	}
+	h.eng.Enter(p.PID, dec)
+	mask := h.eng.MaskFor(p.PID)
+	// Ledger attribution: arbitration overriding the oracle's own choice
+	// is a knowing spill, not a misprediction.
+	p.SetSpilled(mask != h.eng.Capacity().Machine().TypeMask(dec.Choice))
+	h.SwitchRequests++
+	return exec.MarkAction{Mask: mask}
+}
+
+// OnExit implements exec.MarkHook: withdraw the process's capacity claim.
+func (h *OracleEngineHook) OnExit(p *exec.Process) {
+	h.eng.Leave(p.PID)
+	p.SetSpilled(false)
+}

@@ -155,6 +155,7 @@ type Task struct {
 	pendMonitor   int64 // portion of pendingCycles that is monitoring cost (Penalize)
 	lastQueuedPs  int64 // when the task last became queued (ledger queue-wait accounting)
 	arriveHead    bool  // enqueue at the head on next arrival (mid-slice migration)
+	memBound      bool  // image working set stresses the shared L2 (cache stats)
 }
 
 // Core returns the core the task is queued on or running on (-1 after
@@ -329,6 +330,9 @@ type Kernel struct {
 	live    int
 	nextPID int
 
+	memStats   *CacheStats // per-group residency accounting (nil = off)
+	memBoundKB float64     // working-set threshold classifying tasks as memory-bound
+
 	typeCores []int // cores per core type (overcommit capacity)
 	runnable  []int // live tasks per core type (queued or in a burst)
 	peakLive  int
@@ -371,6 +375,46 @@ func NewKernel(m *amp.Machine, cost exec.CostModel, cfg Config) (*Kernel, error)
 	}
 	return k, nil
 }
+
+// CacheStats is the kernel's per-cache-group residency map: how the busy
+// time of memory-bound tasks — those whose image working set stresses the
+// shared L2 — distributed over the machine's cache groups. It is the
+// observable behind the contention experiments: an antagonist fleet herded
+// onto one group concentrates GroupMemPs there; contention-priced placement
+// spreads it. Collection is off unless EnableCacheStats was called; the
+// dispatch hot path reads one nil check when off, and the stats are
+// write-only from the kernel's perspective, so an instrumented run is
+// byte-identical to an uninstrumented one apart from the stats themselves.
+type CacheStats struct {
+	// GroupBusyPs is total busy core-picoseconds per L2 group.
+	GroupBusyPs []int64 `json:"group_busy_ps"`
+	// GroupMemPs is busy core-picoseconds of memory-bound tasks per group.
+	GroupMemPs []int64 `json:"group_mem_ps"`
+	// MemTasks counts tasks classified memory-bound at spawn.
+	MemTasks int `json:"mem_tasks"`
+}
+
+// EnableCacheStats turns on per-group residency accounting. Must be called
+// before the first Spawn (classification happens at spawn time). Tasks are
+// memory-bound when their image's aggregate working set is at least half
+// the largest shared L2 — crowding such tasks measurably moves their miss
+// ratio, which is exactly the population contention pricing separates.
+func (k *Kernel) EnableCacheStats() {
+	k.memStats = &CacheStats{
+		GroupBusyPs: make([]int64, len(k.Machine.L2s)),
+		GroupMemPs:  make([]int64, len(k.Machine.L2s)),
+	}
+	maxKB := 0.0
+	for _, g := range k.Machine.L2s {
+		if g.SizeKB > maxKB {
+			maxKB = g.SizeKB
+		}
+	}
+	k.memBoundKB = maxKB / 2
+}
+
+// CacheStats returns the residency map (nil unless EnableCacheStats).
+func (k *Kernel) CacheStats() *CacheStats { return k.memStats }
 
 // NowPs returns the simulated clock.
 func (k *Kernel) NowPs() int64 { return k.nowPs }
@@ -426,6 +470,12 @@ func (k *Kernel) Spawn(p *exec.Process, name string, slot int, affinity uint64) 
 		lastQueuedPs: k.nowPs,
 	}
 	k.tasks = append(k.tasks, t)
+	if k.memStats != nil && p.Img != nil {
+		if sig := p.Img.MemSignature(); sig.L2RefsPerInstr > 0 && sig.Profile.WorkingSetKB >= k.memBoundKB {
+			t.memBound = true
+			k.memStats.MemTasks++
+		}
+	}
 	if k.Ledger != nil {
 		k.Ledger.AddTask(p.PID, name)
 		if p.Work == nil {
@@ -810,6 +860,12 @@ func (k *Kernel) dispatch(core int) {
 
 	elapsed := used * par.PsPerCycle
 	end := k.nowPs + elapsed
+	if k.memStats != nil {
+		k.memStats.GroupBusyPs[cs.l2] += elapsed
+		if t.memBound {
+			k.memStats.GroupMemPs[cs.l2] += elapsed
+		}
+	}
 	if k.Ledger != nil {
 		// Charge the burst: every category is an integer multiple of this
 		// core's PsPerCycle and used = penalties + ctx + Σ step cycles, so

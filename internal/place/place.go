@@ -58,6 +58,11 @@ type Config struct {
 	// spill target, so marginal spill choices stick across passes.
 	// 0 = default (0.05); negative = no damping.
 	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// Contention, when non-nil, prices shared-L2 occupancy and DRAM
+	// bandwidth into arbitration (see contention.go). Nil — the default —
+	// keeps both the wire encoding and every engine code path
+	// byte-identical to unpriced builds.
+	Contention *ContentionConfig `json:"contention,omitempty"`
 }
 
 // DefaultConfig is the operating point every runtime uses.
@@ -80,6 +85,10 @@ func (c Config) Normalized() Config {
 		c.Hysteresis = d.Hysteresis
 	case c.Hysteresis < 0:
 		c.Hysteresis = 0
+	}
+	if c.Contention != nil {
+		cc := c.Contention.Normalized()
+		c.Contention = &cc
 	}
 	return c
 }
@@ -138,11 +147,12 @@ type Capacity struct {
 	fastType amp.CoreTypeID
 	slowType amp.CoreTypeID
 	numFast  int
+	groups   []typeGroups // per-type shared-L2 topology (contention pricing)
 }
 
 // NewCapacity builds the capacity model for a machine.
 func NewCapacity(m *amp.Machine) *Capacity {
-	c := &Capacity{machine: m, typeCps: make([]float64, len(m.Types))}
+	c := &Capacity{machine: m, typeCps: make([]float64, len(m.Types)), groups: groupsOf(m)}
 	for i, t := range m.Types {
 		if t.CyclesPerSec > m.Types[c.fastType].CyclesPerSec {
 			c.fastType = amp.CoreTypeID(i)
@@ -219,6 +229,11 @@ type Decision struct {
 	Choice amp.CoreTypeID
 	// Rates is instructions per simulated second on each core type.
 	Rates []float64
+	// Mem is the phase's shared-cache pressure signature, set by the
+	// consumer that fixed the decision. The engine reads it only under
+	// contention pricing (Config.Contention non-nil); it is inert — and
+	// placements are bit-identical with or without it — otherwise.
+	Mem *MemStats
 }
 
 // Claim is one task's input to an arbitration pass.
@@ -262,6 +277,7 @@ type claim struct {
 type Engine struct {
 	capacity *Capacity
 	cfg      Config
+	cc       *ContentionConfig // cfg.Contention (normalized); nil = unpriced
 	delta    float64
 
 	claims map[int]*claim
@@ -275,12 +291,14 @@ type Engine struct {
 // Algorithm 2 threshold; cfg parameterizes arbitration (zero fields take
 // defaults).
 func NewEngine(m *amp.Machine, delta float64, cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		capacity: NewCapacity(m),
 		cfg:      cfg.Normalized(),
 		delta:    delta,
 		claims:   map[int]*claim{},
 	}
+	e.cc = e.cfg.Contention
+	return e
 }
 
 // Capacity returns the engine's capacity model.
@@ -408,6 +426,15 @@ func (e *Engine) Arbitrate(claims []Claim) []amp.CoreTypeID {
 			trace.Arg{Key: "band", Value: e.cfg.Band})
 	}
 
+	// Contention pricing: one bandwidth-overdraft factor per pass, computed
+	// from the initial (preference) assignment so every candidate move is
+	// priced against a consistent machine-wide bandwidth picture. bw stays
+	// 1 — and adjustedRate returns raw rates — when pricing is off.
+	bw := 1.0
+	if e.cc != nil {
+		bw = e.bwFactor(claims, demand)
+	}
+
 	band := e.cfg.Band
 	for round := 0; round < len(claims)*nTypes; round++ {
 		// Most oversubscribed type, most undersubscribed type.
@@ -425,12 +452,22 @@ func (e *Engine) Arbitrate(claims []Claim) []amp.CoreTypeID {
 		}
 		// Spill the claim whose measured rate loses least on the target
 		// type; prefer claims already assigned there (no new switch).
+		// Under contention pricing the loss compares *adjusted* rates at
+		// the projected occupancies — source crowded as-is, target with
+		// the spilled task added — so a memory phase leaving a thrashing
+		// group can price as a gain, not a loss.
 		best, bestLoss := -1, 0.0
 		for i := range claims {
 			if int(assigned[i]) != over {
 				continue
 			}
-			loss := claims[i].Dec.Rates[over] - claims[i].Dec.Rates[under]
+			var loss float64
+			if e.cc != nil {
+				loss = e.adjustedRate(claims[i].Dec, over, demand[over], bw) -
+					e.adjustedRate(claims[i].Dec, under, demand[under]+1, bw)
+			} else {
+				loss = claims[i].Dec.Rates[over] - claims[i].Dec.Rates[under]
+			}
 			if claims[i].HasPrev && int(claims[i].Prev) == under {
 				loss -= claims[i].Dec.Rates[over] * e.cfg.Hysteresis
 			}
@@ -451,6 +488,9 @@ func (e *Engine) Arbitrate(claims []Claim) []amp.CoreTypeID {
 		assigned[best] = amp.CoreTypeID(under)
 		demand[over]--
 		demand[under]++
+	}
+	if e.cc != nil {
+		e.relieve(claims, assigned, demand, quota, bw)
 	}
 	return assigned
 }

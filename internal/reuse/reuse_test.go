@@ -181,3 +181,37 @@ func TestAnalyticMatchesTraceShape(t *testing.T) {
 		t.Error("analytic miss ratios not monotone")
 	}
 }
+
+func TestMissRatioEmptyProfilePrecedence(t *testing.T) {
+	// A zero working set means "no shared-cache reuse to lose" and must win
+	// over the zero-capacity rule: cache-neutral work never misses, even at
+	// a degenerate zero share. This is what keeps compute-bound claims
+	// inert under contention pricing.
+	empty := Profile{}
+	for _, kb := range []float64{0, 1, 4096, -5} {
+		if got := empty.MissRatio(kb); got != 0 {
+			t.Errorf("empty profile MissRatio(%g) = %g, want 0", kb, got)
+		}
+	}
+	// A real working set at zero (or negative) capacity always misses.
+	p := Profile{WorkingSetKB: 512, Locality: 0.9}
+	if got := p.MissRatio(0); got != 1 {
+		t.Errorf("MissRatio(0) = %g, want 1", got)
+	}
+	if got := p.MissRatio(-1); got != 1 {
+		t.Errorf("MissRatio(-1) = %g, want 1", got)
+	}
+}
+
+func TestCombineEmptyStreams(t *testing.T) {
+	// Zero references on both sides yields the zero profile, not NaN.
+	z := Combine(Profile{}, 0, Profile{}, 0)
+	if z != (Profile{}) {
+		t.Errorf("Combine of empty streams = %+v, want zero profile", z)
+	}
+	// A zero-count side contributes nothing.
+	p := Profile{WorkingSetKB: 256, Locality: 0.5}
+	if got := Combine(p, 10, Profile{WorkingSetKB: 9999, Locality: 1}, 0); got != p {
+		t.Errorf("Combine with zero-count side = %+v, want %+v", got, p)
+	}
+}

@@ -140,6 +140,14 @@ type RunConfig struct {
 	// bit-identical to a ledger-off run once the Ledger field is stripped.
 	// The flag (not a pointer) crosses the dist wire in the EnvSpec.
 	Ledger bool
+	// CacheStats enables the kernel's per-cache-group residency map
+	// (osched.CacheStats): the run's Result reports how memory-bound
+	// tasks' busy time distributed over shared-L2 groups — the observable
+	// the contention experiments separate fleets by. Like Ledger it never
+	// perturbs the simulation; a stats-off Result encodes byte-identically
+	// to builds without the feature. Crosses the dist wire per-spec
+	// (dist.Spec.CacheStats).
+	CacheStats bool
 }
 
 // Events holds optional per-run observation hooks. Hooks are invoked
@@ -186,6 +194,10 @@ type Result struct {
 	// Result's canonical encoding — the bytes the dist fabric commits —
 	// byte-identical to pre-ledger builds.
 	Ledger *ledger.Ledger `json:"ledger,omitempty"`
+	// CacheStats is the per-cache-group residency map (nil unless
+	// RunConfig.CacheStats was set). The omitempty tag keeps a stats-off
+	// Result's canonical encoding byte-identical to earlier builds.
+	CacheStats *osched.CacheStats `json:"cache_stats,omitempty"`
 }
 
 // ImageStats summarizes one prepared image.
@@ -278,6 +290,17 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	}
 	images := map[*workload.Benchmark]*exec.Image{}
 	oracleMasks := map[*exec.Image]map[phase.Type]uint64{}
+	// Contention-priced oracle runs register claims on one run-wide engine
+	// (built from the same normalized placement config every other
+	// engine-backed mode uses); the plain mask path stays untouched — and
+	// byte-identical — when pricing is off.
+	pcfg := cfg.Placement.Normalized()
+	var oracleEng *place.Engine
+	oracleDecs := map[*exec.Image]map[phase.Type]place.Decision{}
+	if cfg.Mode == Oracle && pcfg.Contention != nil {
+		oracleEng = place.NewEngine(machine, cfg.Tuning.Delta, pcfg)
+		oracleEng.SetTracer(cfg.Trace)
+	}
 	res := &Result{Images: map[string]ImageStats{}, DurationSec: cfg.DurationSec}
 	benchGroups := [][]*workload.Benchmark{}
 	if closed {
@@ -300,11 +323,19 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 			images[b] = art.Image
 			res.Images[b.Name()] = art.Stats
 			if cfg.Mode == Oracle {
-				masks, err := online.OracleAssignments(art.Image, topts, cost, machine, cfg.Tuning.Delta)
-				if err != nil {
-					return nil, fmt.Errorf("sim: oracle %s: %w", b.Name(), err)
+				if oracleEng != nil {
+					decs, err := online.OracleDecisions(oracleEng, art.Image, topts, cost, machine)
+					if err != nil {
+						return nil, fmt.Errorf("sim: oracle %s: %w", b.Name(), err)
+					}
+					oracleDecs[art.Image] = decs
+				} else {
+					masks, err := online.OracleAssignments(art.Image, topts, cost, machine, cfg.Tuning.Delta)
+					if err != nil {
+						return nil, fmt.Errorf("sim: oracle %s: %w", b.Name(), err)
+					}
+					oracleMasks[art.Image] = masks
 				}
-				oracleMasks[art.Image] = masks
 			}
 			if cfg.Events.OnImage != nil {
 				cfg.Events.OnImage(b.Name(), art.Stats, cached)
@@ -313,7 +344,6 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	}
 
 	onlCfg := cfg.Online.Normalized()
-	pcfg := cfg.Placement.Normalized()
 	if cfg.Mode == Dynamic || cfg.Mode == Hybrid {
 		sched.MonitorIntervalSec = onlCfg.TickSec
 	}
@@ -335,6 +365,9 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 		}
 		col = ledger.NewCollector(len(machine.Cores), fastPs)
 		kernel.Ledger = col
+	}
+	if cfg.CacheStats {
+		kernel.EnableCacheStats()
 	}
 	var monitor *online.Manager
 	var hybrid *online.Hybrid
@@ -387,7 +420,11 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 			t.SetTracer(cfg.Trace)
 			hook = t
 		case cfg.Mode == Oracle:
-			hook = online.NewOracleHook(img, oracleMasks[img])
+			if oracleEng != nil {
+				hook = online.NewOracleEngineHook(oracleEng, img, oracleDecs[img])
+			} else {
+				hook = online.NewOracleHook(img, oracleMasks[img])
+			}
 		case cfg.Mode == Hybrid:
 			hook = hybrid.Hook(img)
 		}
@@ -514,6 +551,7 @@ func RunWithHookContext(ctx context.Context, cfg RunConfig, factory HookFactory)
 	if col != nil {
 		res.Ledger = col.Finalize(kernel.NowPs())
 	}
+	res.CacheStats = kernel.CacheStats()
 	return res, nil
 }
 

@@ -176,6 +176,38 @@ func QuantileStrip(names []string, p50s, p95s, p99s, p999s []float64, width int)
 	return b.String()
 }
 
+// Bars renders a linear-scale horizontal bar chart, scaled to the maximum
+// value. Zero or negative values render as an empty bar.
+func Bars(names []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		bar := ""
+		if values[i] > 0 {
+			bar = strings.Repeat("#", int(float64(width)*values[i]/maxV))
+		}
+		fmt.Fprintf(&b, "%-*s %-*s %.3g\n", nameW, n, width, bar, values[i])
+	}
+	return b.String()
+}
+
 // LogBars renders a log10-scale horizontal bar chart (Fig. 5 style). Zero
 // or negative values render as an empty bar.
 func LogBars(names []string, values []float64, width int) string {

@@ -290,11 +290,11 @@ func (tu *Tuner) finishMonitor(p *exec.Process) {
 			return
 		}
 	}
-	tu.decide(mon.ptype, tbl)
+	tu.decide(p, mon.ptype, tbl)
 }
 
 // decide fixes the section-to-core assignment for a phase type.
-func (tu *Tuner) decide(pt phase.Type, tbl *typeTable) {
+func (tu *Tuner) decide(p *exec.Process, pt phase.Type, tbl *typeTable) {
 	f := make([]float64, len(tbl.samples))
 	for ct, s := range tbl.samples {
 		f[ct] = mean(s)
@@ -302,6 +302,13 @@ func (tu *Tuner) decide(pt phase.Type, tbl *typeTable) {
 	tbl.decided = true
 	if tu.spilling() {
 		dec := tu.engine.Decide(f)
+		// Attach the image's shared-cache signature so contention-priced
+		// arbitration can project crowding costs. Inert (never read) when
+		// the engine's pricing is off.
+		if p != nil && p.Img != nil {
+			sig := p.Img.MemSignature()
+			dec.Mem = &place.MemStats{L2RefsPerInstr: sig.L2RefsPerInstr, Profile: sig.Profile}
+		}
 		tbl.dec = &dec
 		tbl.target = dec.Choice
 	} else {

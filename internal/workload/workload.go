@@ -16,7 +16,7 @@
 // ScaleDivisor (bwaves capped), under the scaled simulation clock of
 // package amp; phase alternation counts follow the paper's switch counts
 // under the same divisor. Uniform scaling preserves every relative quantity
-// (see DESIGN.md §14).
+// (see DESIGN.md §15).
 //
 // Beyond the fixed suite, the package provides the synthetic
 // alternation-rate axis of the misprediction-cost breakdown (AltSpec,
@@ -61,6 +61,15 @@ const (
 	// MixedPhase is in between; programs made only of it have one phase
 	// type and never switch.
 	MixedPhase
+	// MemAntPhase is the memory antagonist: a DRAM streamer whose working
+	// set overflows even a solo shared L2 by design, so its throughput is
+	// governed almost entirely by its effective cache share — the phase
+	// that makes shared-hierarchy contention visible. Its IPC profile is
+	// flat across core types (memory latency is wall-clock), which is
+	// exactly why unpriced placement herds antagonist fleets onto one
+	// cache group: Algorithm 2 sends each one to cheap slow capacity and
+	// nothing charges for the crowding.
+	MemAntPhase
 )
 
 // String names the kind.
@@ -76,6 +85,8 @@ func (k PhaseKind) String() string {
 		return "memlight"
 	case MixedPhase:
 		return "mixed"
+	case MemAntPhase:
+		return "memant"
 	}
 	return fmt.Sprintf("phasekind(%d)", int(k))
 }
@@ -115,6 +126,15 @@ func (k PhaseKind) variants() [3]prog.BlockMix {
 			{IntALU: 14, FPAdd: 4, Load: 8, Store: 3, WorkingSetKB: 512, Locality: 0.97},
 			{IntALU: 10, FPAdd: 2, Load: 6, Store: 2, WorkingSetKB: 512, Locality: 0.97},
 			{IntALU: 8, FPAdd: 4, Load: 5, Store: 3, WorkingSetKB: 512, Locality: 0.97},
+		}
+	case MemAntPhase:
+		// Working sets straddle the largest shared L2 (4 MiB) with lower
+		// locality than MemPhase: halving the cache share roughly triples
+		// the miss ratio, so co-location cost dominates core-type choice.
+		return [3]prog.BlockMix{
+			{Load: 16, Store: 8, IntALU: 8, WorkingSetKB: 3072, Locality: 0.92},
+			{Load: 14, Store: 6, IntALU: 4, WorkingSetKB: 3584, Locality: 0.90},
+			{Load: 12, Store: 8, IntALU: 6, WorkingSetKB: 2560, Locality: 0.91},
 		}
 	}
 	return [3]prog.BlockMix{{IntALU: 10}, {IntALU: 8}, {IntALU: 6}}
@@ -180,6 +200,8 @@ var phaseTable = map[string][]PhaseSpec{
 	altRevPersonality: {{Kind: MemPhase, Share: 0.5}, {Kind: CPUPhase, Share: 0.5}},
 	altCPUPersonality: {{Kind: CPUPhase, Share: 0.9}, {Kind: MemPhase, Share: 0.1}},
 	altMemPersonality: {{Kind: MemPhase, Share: 0.9}, {Kind: CPUPhase, Share: 0.1}},
+	antPersonality:    {{Kind: MemAntPhase, Share: 0.9}, {Kind: CPUPhase, Share: 0.1}},
+	antCPUPersonality: {{Kind: CPUPhase, Share: 0.9}, {Kind: MemLightPhase, Share: 0.1}},
 	"164.gzip":        {{Kind: CPUPhase, Share: 0.7}, {Kind: MemPhase, Share: 0.3}},
 	"181.mcf":         {{Kind: MemPhase, Share: 0.6}, {Kind: CPUPhase, Share: 0.15}, {Kind: MemPhase, Share: 0.25}},
 	"172.mgrid":       {{Kind: FPPhase, Share: 0.5}, {Kind: MemPhase, Share: 0.5}},
@@ -485,6 +507,21 @@ const (
 	altRevPersonality = "synthetic.alt.rev"
 	altCPUPersonality = "synthetic.cpu"
 	altMemPersonality = "synthetic.mem"
+	// antPersonality keys the memory antagonist: a MemAntPhase-dominant
+	// job with a small compute phase (so it carries phase marks and every
+	// policy, static included, can place it — same shape as the anchors).
+	// It is deliberately NOT a Specs() suite member: the suite drives
+	// BuildWorkload's random draws, and extending it would perturb every
+	// existing seed's workload — the byte-identity contract the dist
+	// fabric and the golden tests pin. Antagonist fleets materialize
+	// through Spec.Fleet instead.
+	antPersonality = "synthetic.antagonist"
+	// antCPUPersonality keys the antagonist fleet's compute anchor: like
+	// altCPUPersonality but with a *light* memory secondary, so its
+	// image-level shared-cache signature stays unambiguously compute-side
+	// (the alternation anchor's MemPhase secondary dominates the
+	// ref-weighted working set and would classify it memory-bound).
+	antCPUPersonality = "synthetic.antagonist.cpu"
 )
 
 // AltTargetSec is the alternator's designed isolation runtime on a fast
@@ -535,6 +572,28 @@ func AltAnchorSpecs() []BenchSpec {
 		{Name: "alt.cpu", Personality: altCPUPersonality, TargetSec: AltTargetSec,
 			Alternations: 2, StaticInstrs: 3000},
 		{Name: "alt.mem", Personality: altMemPersonality, TargetSec: AltTargetSec,
+			Alternations: 2, StaticInstrs: 3000},
+	}
+}
+
+// FleetAntagonist selects the memory-antagonist fleet axis
+// (workload.Spec.Fleet): slots cycle [antagonist, cpu anchor], so half the
+// fleet streams DRAM against a compute half that anchors fast-core demand.
+// The composition makes shared-hierarchy contention the dominant effect —
+// on the hex, two or more antagonists sharing one L2 group thrash it while
+// another same-size group sits cold — which is the separation the
+// contention-priced placement engine must produce and the unpriced engine
+// demonstrably does not.
+const FleetAntagonist = "antagonist"
+
+// AntagonistSpecs returns the antagonist fleet's member specs in slot-cycle
+// order: the DRAM antagonist and the stable compute anchor, both at the
+// alternator target runtime with the anchors' low alternation count.
+func AntagonistSpecs() []BenchSpec {
+	return []BenchSpec{
+		{Name: "ant.mem", Personality: antPersonality, TargetSec: AltTargetSec,
+			Alternations: 2, StaticInstrs: 3000},
+		{Name: "ant.cpu", Personality: antCPUPersonality, TargetSec: AltTargetSec,
 			Alternations: 2, StaticInstrs: 3000},
 	}
 }
@@ -666,6 +725,13 @@ type Spec struct {
 	// the fleet is generated against (cost, machine), which Build does not
 	// have.
 	Alternations int `json:"alternations,omitempty"`
+	// Fleet, when non-empty, selects a named synthetic fleet instead of
+	// the suite draw — currently FleetAntagonist, the memory-antagonist
+	// composition behind the contention-pricing experiments. Like the
+	// alternation axis, fleet specs must materialize through Materialize
+	// (the fleet generates against cost and machine) and rebuild
+	// bit-identically across processes.
+	Fleet string `json:"fleet,omitempty"`
 	// Arrivals, when non-nil, selects the open-system serving form instead
 	// of a closed slot-queue workload: jobs from the serving fleet arrive
 	// over time under the described process. Specs carrying it materialize
@@ -694,11 +760,24 @@ func (s Spec) Build(suite []*Benchmark) *Workload {
 // suite draws do; Seed keeps driving per-process branch seeds through the
 // run configuration.
 func (s Spec) Materialize(suite []*Benchmark, cm exec.CostModel, machine *amp.Machine) (*Workload, error) {
-	if s.Alternations <= 0 {
-		return s.Build(suite), nil
+	switch {
+	case s.Fleet != "":
+		if s.Fleet != FleetAntagonist {
+			return nil, fmt.Errorf("workload: unknown fleet %q (want %q)", s.Fleet, FleetAntagonist)
+		}
+		return s.materializeFleet(AntagonistSpecs(), cm, machine)
+	case s.Alternations > 0:
+		anchors := AltAnchorSpecs()
+		specs := []BenchSpec{AltSpec(s.Alternations), anchors[0], AltSpecRev(s.Alternations), anchors[1]}
+		return s.materializeFleet(specs, cm, machine)
 	}
-	anchors := AltAnchorSpecs()
-	specs := []BenchSpec{AltSpec(s.Alternations), anchors[0], AltSpecRev(s.Alternations), anchors[1]}
+	return s.Build(suite), nil
+}
+
+// materializeFleet generates the named fleet members and cycles them across
+// the spec's slots, each slot queue repeating one benchmark — the shape both
+// synthetic axes (alternation rate, antagonist contention) share.
+func (s Spec) materializeFleet(specs []BenchSpec, cm exec.CostModel, machine *amp.Machine) (*Workload, error) {
 	fleet := make([]*Benchmark, len(specs))
 	for i, sp := range specs {
 		b, err := Generate(sp, cm, machine)

@@ -184,6 +184,10 @@ type (
 	// capacity core every placement policy funnels through
 	// (internal/place).
 	PlacementConfig = place.Config
+	// ContentionConfig prices shared-L2 occupancy and DRAM bandwidth into
+	// the engine's arbitration (PlacementConfig.Contention). Nil — the
+	// default — keeps every placement bit-identical to unpriced builds.
+	ContentionConfig = place.ContentionConfig
 )
 
 // Online reassignment policies (OnlineConfig.Policy).

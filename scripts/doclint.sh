@@ -1,0 +1,66 @@
+#!/bin/sh
+# doclint: flag dangling DESIGN.md section cross-references.
+#
+# DESIGN.md's "Time scale" section has been renumbered by nearly every PR
+# that inserted a section before it, and each renumbering has left stale
+# "§N" pointers behind in package docs. This script makes that class of rot
+# a CI failure: it extracts the set of real "## N." headings from DESIGN.md
+# and then checks every Arabic-numbered reference to them —
+#
+#   - bare "§N" references inside DESIGN.md itself, and
+#   - "DESIGN.md §N" references anywhere in the repo's Go sources and
+#     markdown docs.
+#
+# Roman-numeral references (§V, §IV-B3, ...) are citations into the source
+# paper, not DESIGN.md sections, and are ignored; so are section references
+# qualified by other works ("Muchnick §7.4"), which never match the
+# "DESIGN.md §N" form. Range references like "§4–5" check their first
+# number (the grep matches the leading digits only).
+set -eu
+cd "$(dirname "$0")/.."
+
+sections=$(grep -oE '^## [0-9]+' DESIGN.md | tr -dc '0-9\n')
+if [ -z "$sections" ]; then
+    echo "doclint: no numbered '## N.' headings found in DESIGN.md" >&2
+    exit 1
+fi
+
+valid() {
+    echo "$sections" | grep -qx "$1"
+}
+
+fail=0
+
+# Bare §N references inside DESIGN.md.
+refs=$(grep -noE '§[0-9]+' DESIGN.md || true)
+for r in $refs; do
+    line=${r%%:*}
+    n=${r##*§}
+    if ! valid "$n"; then
+        echo "DESIGN.md:$line: dangling section reference §$n (no '## $n.' heading)" >&2
+        fail=1
+    fi
+done
+
+# DESIGN.md §N references repo-wide.
+refs=$(grep -rnoE 'DESIGN\.md §[0-9]+' \
+    --include='*.go' --include='*.md' --include='*.sh' \
+    --exclude-dir='.git' . || true)
+oldIFS=$IFS
+IFS='
+'
+for r in $refs; do
+    loc=${r%:DESIGN.md *}
+    n=$(echo "$r" | grep -oE '[0-9]+$')
+    if ! valid "$n"; then
+        echo "$loc: dangling reference DESIGN.md §$n (no '## $n.' heading)" >&2
+        fail=1
+    fi
+done
+IFS=$oldIFS
+
+if [ "$fail" -ne 0 ]; then
+    echo "doclint: stale section references found — renumbering DESIGN.md requires updating every §N pointer" >&2
+    exit 1
+fi
+echo "doclint: all DESIGN.md section references resolve"
